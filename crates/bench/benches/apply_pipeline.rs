@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the end-to-end Apply pipelines in full
+//! numeric fidelity (reference walk vs batched, CPU vs hybrid), on a
+//! small projected Coulomb instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use madness_core::apply::{apply_batched, apply_cpu_reference, ApplyConfig, ApplyResource};
+use madness_core::coulomb::CoulombApp;
+use madness_gpusim::KernelKind;
+use madness_runtime::BatcherConfig;
+use std::hint::black_box;
+
+fn config(resource: ApplyResource) -> ApplyConfig {
+    ApplyConfig {
+        resource,
+        batch: BatcherConfig {
+            max_batch: 16,
+            ..BatcherConfig::default()
+        },
+        kernel: Some(KernelKind::CustomMtxmq),
+        streams: 5,
+        threads: 10,
+        rank_reduce_eps: None,
+    }
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let app = CoulombApp::small(4, 1e-3);
+    let mut g = c.benchmark_group("apply_full_fidelity");
+    g.sample_size(10);
+    g.bench_function("reference_walk", |b| {
+        b.iter(|| black_box(apply_cpu_reference(&app.op, &app.tree)))
+    });
+    g.bench_function("batched_cpu", |b| {
+        b.iter(|| black_box(apply_batched(&app.op, &app.tree, &config(ApplyResource::Cpu))))
+    });
+    g.bench_function("batched_hybrid", |b| {
+        b.iter(|| {
+            black_box(apply_batched(
+                &app.op,
+                &app.tree,
+                &config(ApplyResource::Hybrid),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_apply_rank_reduced(c: &mut Criterion) {
+    let app = CoulombApp::small(6, 1e-4);
+    let mut g = c.benchmark_group("apply_rank_reduction");
+    g.sample_size(10);
+    let mut plain = config(ApplyResource::Cpu);
+    let mut rr = config(ApplyResource::Cpu);
+    rr.rank_reduce_eps = Some(1e-6);
+    plain.batch.max_batch = 32;
+    rr.batch.max_batch = 32;
+    g.bench_function("full_rank", |b| {
+        b.iter(|| black_box(apply_batched(&app.op, &app.tree, &plain)))
+    });
+    g.bench_function("rank_reduced", |b| {
+        b.iter(|| black_box(apply_batched(&app.op, &app.tree, &rr)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_apply, bench_apply_rank_reduced
+}
+criterion_main!(benches);

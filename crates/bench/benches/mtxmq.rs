@@ -1,0 +1,85 @@
+//! Criterion microbenchmarks of the real host `mtxmq` kernel on the
+//! paper's matrix shapes (wall-clock of *this* machine — distinct from
+//! the simulated-hardware numbers `tablegen` reports).
+//!
+//! Shapes: `(k^{d-1}, k) × (k, k)` for the 3-D (Fig. 5) and 4-D (Fig. 6)
+//! products, plus the batch-of-60 composite the paper measures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use madness_tensor::{mtxmq, mtxmq_flops};
+use std::hint::black_box;
+
+fn fill(n: usize, seed: u64) -> Vec<f64> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+        .collect()
+}
+
+fn bench_3d_shapes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mtxmq_3d");
+    for k in [10usize, 14, 20, 28] {
+        let (dimi, dimj, dimk) = (k * k, k, k);
+        let a = fill(dimk * dimi, 7);
+        let b = fill(dimk * dimj, 11);
+        let mut out = vec![0.0; dimi * dimj];
+        g.throughput(Throughput::Elements(mtxmq_flops(dimi, dimj, dimk)));
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| {
+                mtxmq(dimi, dimj, dimk, black_box(&a), black_box(&b), &mut out);
+                black_box(out[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_4d_shapes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mtxmq_4d");
+    for k in [10usize, 14] {
+        let (dimi, dimj, dimk) = (k * k * k, k, k);
+        let a = fill(dimk * dimi, 3);
+        let b = fill(dimk * dimj, 5);
+        let mut out = vec![0.0; dimi * dimj];
+        g.throughput(Throughput::Elements(mtxmq_flops(dimi, dimj, dimk)));
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| {
+                mtxmq(dimi, dimj, dimk, black_box(&a), black_box(&b), &mut out);
+                black_box(out[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_batch_of_60(c: &mut Criterion) {
+    // Figure 5's measurement unit: 60 multiplications at k = 10.
+    let k = 10usize;
+    let (dimi, dimj, dimk) = (k * k, k, k);
+    let a = fill(dimk * dimi, 21);
+    let bs: Vec<Vec<f64>> = (0..60).map(|i| fill(dimk * dimj, 100 + i)).collect();
+    let mut out = vec![0.0; dimi * dimj];
+    let mut g = c.benchmark_group("mtxmq_batch60");
+    g.throughput(Throughput::Elements(60 * mtxmq_flops(dimi, dimj, dimk)));
+    g.bench_function("k10", |bench| {
+        bench.iter(|| {
+            for b in &bs {
+                mtxmq(dimi, dimj, dimk, black_box(&a), black_box(b), &mut out);
+            }
+            black_box(out[0])
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_3d_shapes, bench_4d_shapes, bench_batch_of_60
+}
+criterion_main!(benches);

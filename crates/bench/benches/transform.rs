@@ -1,0 +1,99 @@
+//! Criterion benchmarks of the full multidimensional transform (one
+//! rank-μ term of Formula 1) and of the two-scale filter — the numeric
+//! building blocks the simulated kernels execute in Full fidelity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use madness_mra::twoscale::TwoScale;
+use madness_tensor::{
+    transform, transform_accumulate, transform_flops, Shape, Tensor, TransformScratch,
+};
+use std::hint::black_box;
+
+fn det_tensor(shape: Shape, seed: u64) -> Tensor {
+    let mut s = seed | 1;
+    Tensor::from_fn(shape, |_| {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    })
+}
+
+fn bench_transform_3d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transform_3d");
+    for k in [10usize, 20, 30] {
+        let t = det_tensor(Shape::cube(3, k), 1);
+        let hs: Vec<Tensor> = (0..3)
+            .map(|i| det_tensor(Shape::matrix(k, k), 10 + i))
+            .collect();
+        let hr: Vec<&Tensor> = hs.iter().collect();
+        g.throughput(Throughput::Elements(transform_flops(3, k)));
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| black_box(transform(black_box(&t), &hr)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_transform_4d_k14(c: &mut Criterion) {
+    let k = 14usize;
+    let t = det_tensor(Shape::cube(4, k), 2);
+    let hs: Vec<Tensor> = (0..4)
+        .map(|i| det_tensor(Shape::matrix(k, k), 20 + i))
+        .collect();
+    let hr: Vec<&Tensor> = hs.iter().collect();
+    let mut g = c.benchmark_group("transform_4d");
+    g.throughput(Throughput::Elements(transform_flops(4, k)));
+    g.bench_function("k14", |bench| {
+        bench.iter(|| black_box(transform(black_box(&t), &hr)))
+    });
+    g.finish();
+}
+
+fn bench_rank_m_accumulation(c: &mut Criterion) {
+    // A whole Apply task body: M = 100 accumulated transforms, k = 10.
+    let k = 10usize;
+    let m = 100usize;
+    let t = det_tensor(Shape::cube(3, k), 3);
+    let hs: Vec<Vec<Tensor>> = (0..m)
+        .map(|mu| {
+            (0..3)
+                .map(|d| det_tensor(Shape::matrix(k, k), (mu * 4 + d) as u64))
+                .collect()
+        })
+        .collect();
+    let mut g = c.benchmark_group("apply_task_body");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(m as u64 * transform_flops(3, k)));
+    g.bench_function("rank100_k10", |bench| {
+        bench.iter(|| {
+            let mut r = Tensor::zeros(Shape::cube(3, k));
+            let mut scratch = TransformScratch::new();
+            for term in &hs {
+                let hr: Vec<&Tensor> = term.iter().collect();
+                transform_accumulate(black_box(&t), &hr, &mut scratch, &mut r);
+            }
+            black_box(r.normf())
+        })
+    });
+    g.finish();
+}
+
+fn bench_twoscale_filter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("twoscale_filter");
+    for k in [8usize, 14] {
+        let ts = TwoScale::new(k);
+        let block = det_tensor(Shape::cube(3, 2 * k), 9);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| black_box(ts.filter(black_box(&block))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_transform_3d, bench_transform_4d_k14, bench_rank_m_accumulation, bench_twoscale_filter
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! # madness-bench
+//!
+//! The experiment harness: every table and figure of the CLUSTER 2012
+//! paper's evaluation, regenerated over the simulated cluster
+//! (`tablegen` binary), plus ablation studies of the design choices and
+//! Criterion microbenchmarks of the real host kernels.
+//!
+//! Experiment ↔ module map (per-experiment index in DESIGN.md §4):
+//!
+//! | experiment | function |
+//! |---|---|
+//! | Table I    | [`tables::table1`] |
+//! | Table II   | [`tables::table2`] |
+//! | Table III  | [`tables::table3`] |
+//! | Table IV   | [`tables::table4`] |
+//! | Table V    | [`tables::table5`] |
+//! | Table VI   | [`tables::table6`] |
+//! | Figure 5   | [`figures::fig5`] |
+//! | Figure 6   | [`figures::fig6`] |
+//! | Ablations  | [`ablation`] |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod figures;
+pub mod tables;

@@ -1,0 +1,193 @@
+//! Whole-cluster simulation: partition, per-node pipelines, makespan.
+
+use crate::network::NetworkModel;
+use crate::node::{NodeReport, NodeSim, ResourceMode};
+use crate::workload::TaskPopulation;
+use madness_gpusim::SimTime;
+use rayon::prelude::*;
+
+/// Aggregate result of a cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Application time: slowest node (static load balancing — "MADNESS
+    /// uses static load balancing", §III-A), including any unoverlapped
+    /// network injection.
+    pub total: SimTime,
+    /// The per-node reports (index = compute node).
+    pub nodes: Vec<NodeReport>,
+    /// Which node was critical.
+    pub slowest_node: usize,
+    /// Max network injection time across nodes (reported to show it is
+    /// not the bottleneck).
+    pub network_time: SimTime,
+    /// Total tasks executed.
+    pub total_tasks: u64,
+}
+
+impl ClusterReport {
+    /// Ratio of mean node time to the critical node's time (1.0 = all
+    /// nodes equally busy).
+    pub fn balance(&self) -> f64 {
+        if self.nodes.is_empty() || self.total == SimTime::ZERO {
+            return 1.0;
+        }
+        let mean: f64 = self
+            .nodes
+            .iter()
+            .map(|n| n.total.as_secs_f64())
+            .sum::<f64>()
+            / self.nodes.len() as f64;
+        mean / self.total.as_secs_f64()
+    }
+}
+
+/// Simulates a cluster of identical CPU-GPU nodes.
+#[derive(Clone, Debug)]
+pub struct ClusterSim {
+    node: NodeSim,
+    network: NetworkModel,
+}
+
+impl ClusterSim {
+    /// A cluster whose nodes all use `node`'s parameters.
+    pub fn new(node: NodeSim, network: NetworkModel) -> Self {
+        ClusterSim { node, network }
+    }
+
+    /// The node simulator.
+    pub fn node(&self) -> &NodeSim {
+        &self.node
+    }
+
+    /// Runs the population under `mode` on every node; the application
+    /// finishes when the slowest node does. Network injection overlaps
+    /// compute; only any excess beyond compute extends the node's time.
+    pub fn run(&self, population: &TaskPopulation, mode: ResourceMode) -> ClusterReport {
+        let spec = population.spec;
+        let result_bytes = 8 * (spec.k as u64).pow(spec.d as u32);
+        let nodes: Vec<(NodeReport, SimTime)> = population
+            .per_node
+            .par_iter()
+            .map(|&n_tasks| {
+                let report = self.node.simulate(&spec, n_tasks, mode);
+                let net = self.network.injection_time(n_tasks, result_bytes);
+                (report, net)
+            })
+            .collect();
+
+        let mut total = SimTime::ZERO;
+        let mut slowest = 0usize;
+        let mut network_time = SimTime::ZERO;
+        let mut reports = Vec::with_capacity(nodes.len());
+        for (i, (report, net)) in nodes.into_iter().enumerate() {
+            // Injection overlaps the pipeline; a node only waits if the
+            // network needs longer than its own compute tail.
+            let node_total = report.total.max(net);
+            if node_total > total {
+                total = node_total;
+                slowest = i;
+            }
+            network_time = network_time.max(net);
+            reports.push(report);
+        }
+        ClusterReport {
+            total,
+            nodes: reports,
+            slowest_node: slowest,
+            network_time,
+            total_tasks: population.total(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeParams;
+    use crate::workload::WorkloadSpec;
+    use madness_gpusim::KernelKind;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            d: 3,
+            k: 10,
+            rank: 100,
+            rr_mean_rank: None,
+        }
+    }
+
+    fn sim() -> ClusterSim {
+        ClusterSim::new(NodeSim::new(NodeParams::default()), NetworkModel::default())
+    }
+
+    fn hybrid() -> ResourceMode {
+        ResourceMode::Hybrid {
+            compute_threads: 10,
+            data_threads: 5,
+            streams: 5,
+            kernel: KernelKind::CustomMtxmq,
+        }
+    }
+
+    #[test]
+    fn even_population_scales_with_nodes() {
+        let s = sim();
+        let t = |n_nodes: usize| {
+            let pop = TaskPopulation::even(spec(), 160_000, n_nodes);
+            s.run(&pop, ResourceMode::CpuOnly { threads: 16 })
+                .total
+                .as_secs_f64()
+        };
+        let t2 = t(2);
+        let t8 = t(8);
+        let t16 = t(16);
+        assert!(t2 / t8 > 3.5, "2→8 nodes speedup {}", t2 / t8);
+        assert!(t8 / t16 > 1.8, "8→16 nodes speedup {}", t8 / t16);
+    }
+
+    #[test]
+    fn makespan_is_slowest_node() {
+        let s = sim();
+        let pop = TaskPopulation {
+            spec: spec(),
+            per_node: vec![100, 5_000, 300],
+        };
+        let r = s.run(&pop, ResourceMode::CpuOnly { threads: 16 });
+        assert_eq!(r.slowest_node, 1);
+        assert!(r.balance() < 0.7, "imbalance must show: {}", r.balance());
+    }
+
+    #[test]
+    fn network_never_dominates_at_paper_scale() {
+        let s = sim();
+        let pop = TaskPopulation::even(spec(), 154_468, 100);
+        let r = s.run(&pop, hybrid());
+        assert!(
+            r.network_time.as_secs_f64() < 0.1 * r.total.as_secs_f64(),
+            "network {} vs total {}",
+            r.network_time,
+            r.total
+        );
+    }
+
+    #[test]
+    fn hybrid_cluster_beats_cpu_cluster() {
+        let s = sim();
+        let pop = TaskPopulation::even(spec(), 40_000, 8);
+        let cpu = s.run(&pop, ResourceMode::CpuOnly { threads: 16 }).total;
+        let hyb = s.run(&pop, hybrid()).total;
+        assert!(hyb < cpu, "hybrid {hyb} vs cpu {cpu}");
+    }
+
+    #[test]
+    fn empty_nodes_are_fine() {
+        let s = sim();
+        let pop = TaskPopulation {
+            spec: spec(),
+            per_node: vec![0, 0, 60],
+        };
+        let r = s.run(&pop, hybrid());
+        assert!(r.total > SimTime::ZERO);
+        assert_eq!(r.total_tasks, 60);
+    }
+}

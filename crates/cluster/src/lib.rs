@@ -1,0 +1,43 @@
+//! # madness-cluster
+//!
+//! A discrete-event simulator of the Titan partition the paper ran on:
+//! `N` compute nodes, each a 16-core AMD Interlagos CPU plus one Tesla
+//! M2090 GPU, executing MADNESS Apply workloads under a *process map*
+//! with static load balancing.
+//!
+//! Layers:
+//!
+//! * [`des`] — a minimal discrete-event core: an event heap and FIFO
+//!   resources with capacities (CPU-thread lanes, GPU streams, the
+//!   dispatcher thread);
+//! * [`workload`] — homogeneous Apply task populations, derived from a
+//!   real or synthetic function tree plus an operator's displacement
+//!   list;
+//! * [`node`] — one compute node's pipeline (Fig. 3 of the paper):
+//!   preprocess → per-kind batching on a timer → dispatcher split →
+//!   CPU threads ∥ GPU streams → postprocess, in CPU-only, GPU-only or
+//!   hybrid mode;
+//! * [`network`] — result-accumulation traffic (latency/bandwidth; the
+//!   paper found Titan's network is not a bottleneck — the model lets us
+//!   *check* that, not assume it);
+//! * [`cluster`] — partition the tree by a process map, simulate every
+//!   node, and take the makespan.
+//!
+//! All times are simulated ([`madness_gpusim::SimTime`]); the cluster
+//! layer is timing-only by design (full-fidelity numerics live in
+//! `madness-core`, which cross-checks single-node results).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod des;
+pub mod network;
+pub mod node;
+pub mod workload;
+
+pub use cluster::{ClusterReport, ClusterSim};
+pub use des::{Des, FifoResource};
+pub use network::NetworkModel;
+pub use node::{NodeParams, NodeReport, NodeSim, ResourceMode};
+pub use workload::{TaskPopulation, WorkloadSpec};

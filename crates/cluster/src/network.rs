@@ -1,0 +1,91 @@
+//! Inter-node communication model.
+//!
+//! Apply's only cross-node traffic is the `postprocess` accumulation of
+//! result tensors into neighbor tree nodes owned elsewhere. The paper
+//! reports that "MADNESS on a cluster already efficiently handles
+//! communications between compute nodes and Titan does not introduce
+//! additional bottlenecks" — this model exists so the experiments can
+//! *verify* that claim (communication overlaps computation and is orders
+//! of magnitude smaller), not assume it silently.
+
+use madness_gpusim::SimTime;
+
+/// Latency/bandwidth model of the interconnect (defaults approximate
+/// Titan's Cray Gemini 3-D torus).
+#[derive(Clone, Debug)]
+pub struct NetworkModel {
+    /// One-way message latency.
+    pub latency: SimTime,
+    /// Per-link bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// Fraction of a node's accumulations that leave the node (depends
+    /// on the process map: a locality map keeps most neighbors local).
+    pub remote_fraction: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel {
+            latency: SimTime::from_micros(2),
+            bandwidth: 5.0e9,
+            remote_fraction: 0.3,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// Time one node spends injecting its remote accumulation traffic:
+    /// `n_tasks × remote_fraction` messages of `bytes_per_msg` each,
+    /// pipelined (latency paid once per message, bandwidth shared).
+    pub fn injection_time(&self, n_tasks: u64, bytes_per_msg: u64) -> SimTime {
+        let msgs = (n_tasks as f64 * self.remote_fraction).ceil() as u64;
+        if msgs == 0 {
+            return SimTime::ZERO;
+        }
+        let bytes = msgs * bytes_per_msg;
+        // Messages overlap on the NIC: latency of the first + streaming.
+        self.latency + SimTime::from_secs_f64(bytes as f64 / self.bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_tasks_zero_time() {
+        let n = NetworkModel::default();
+        assert_eq!(n.injection_time(0, 8000), SimTime::ZERO);
+    }
+
+    #[test]
+    fn traffic_scales_with_messages() {
+        let n = NetworkModel::default();
+        let t1 = n.injection_time(1_000, 8_000);
+        let t2 = n.injection_time(2_000, 8_000);
+        assert!(t2 > t1);
+        assert!(t2.as_secs_f64() < 2.05 * t1.as_secs_f64());
+    }
+
+    #[test]
+    fn communication_is_not_the_bottleneck_at_paper_scale() {
+        // Table VI: ~5.4 k tasks/node of k=14 4-D results (307 KB each).
+        // Injection must be far below the ≥ 277 s compute times.
+        let n = NetworkModel::default();
+        let bytes = 8 * 14u64.pow(4);
+        let t = n.injection_time(5_421, bytes);
+        assert!(
+            t.as_secs_f64() < 1.0,
+            "network would bottleneck: {t}"
+        );
+    }
+
+    #[test]
+    fn locality_map_reduces_traffic() {
+        let mut n = NetworkModel::default();
+        let even = n.injection_time(10_000, 8_000);
+        n.remote_fraction = 0.05;
+        let local = n.injection_time(10_000, 8_000);
+        assert!(local < even);
+    }
+}

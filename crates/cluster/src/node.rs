@@ -1,0 +1,550 @@
+//! One compute node's Apply pipeline (the control flow of the paper's
+//! Fig. 3), in CPU-only, GPU-only, or hybrid CPU-GPU mode.
+//!
+//! The pipeline stages and their resources:
+//!
+//! * **preprocess** (data-intensive: resolve neighbor + `h` addresses) —
+//!   data threads; memory-bound, so its parallelism is capped;
+//! * **batching** — compute inputs accumulate per kind; a batch flushes
+//!   at `max_batch` tasks (or the end-of-run timer flush);
+//! * **dispatcher** — a dedicated CPU thread that rearranges each batch
+//!   into the transfer buffers and splits it CPU/GPU at
+//!   `k* = n/(m+n)` from the model-estimated batch times;
+//! * **compute** — CPU worker threads and/or the simulated GPU
+//!   ([`madness_gpusim::GpuDevice`], which models streams, transfers and
+//!   the write-once cache);
+//! * **postprocess** (accumulate results into the tree) — data threads.
+//!
+//! The report separates compute, data, dispatch and transfer time so the
+//! experiment harness can print the paper's "Actual" and "Optimal
+//! CPU-GPU Overlap" columns and exhibit both deviations the paper
+//! discusses (§III-A): actual > optimal for small batches (dispatch +
+//! batch-quantization overheads) and actual < optimal ("super-optimal")
+//! when the data-intensive fraction inflates the measured `m` and `n`.
+
+use crate::des::FifoResource;
+use crate::workload::WorkloadSpec;
+use madness_gpusim::{DeviceSpec, ExecMode, GpuDevice, KernelKind, PinnedBufferPool, SimTime, TransformTask};
+use madness_runtime::{BatcherConfig, CpuModel, SplitPlan};
+
+/// Which execution resources the node uses.
+#[derive(Clone, Copy, Debug)]
+pub enum ResourceMode {
+    /// All compute on CPU threads (the paper's baseline columns).
+    CpuOnly {
+        /// Compute threads.
+        threads: usize,
+    },
+    /// All compute on the GPU; CPU threads only feed data.
+    GpuOnly {
+        /// CUDA streams.
+        streams: usize,
+        /// Kernel implementation.
+        kernel: KernelKind,
+        /// CPU threads dedicated to data access (Table I used 12).
+        data_threads: usize,
+    },
+    /// The paper's contribution: compute split CPU ∥ GPU.
+    Hybrid {
+        /// CPU compute threads (Table I: 10).
+        compute_threads: usize,
+        /// CPU data threads (the rest, minus the dispatcher).
+        data_threads: usize,
+        /// CUDA streams (Table I: 5).
+        streams: usize,
+        /// Kernel implementation.
+        kernel: KernelKind,
+    },
+}
+
+/// Tunable pipeline parameters (calibration record in EXPERIMENTS.md).
+#[derive(Clone, Debug)]
+pub struct NodeParams {
+    /// CPU timing model.
+    pub cpu: CpuModel,
+    /// GPU device spec.
+    pub gpu: DeviceSpec,
+    /// Batch flush policy.
+    pub batch: BatcherConfig,
+    /// Data-intensive work (preprocess + postprocess) per task, as a
+    /// fraction of that task's full CPU compute time.
+    pub data_fraction: f64,
+    /// Data work is memory-bound: it scales only to this many threads.
+    pub data_threads_cap: usize,
+    /// Dispatcher cost to rearrange one task into the transfer buffers.
+    pub dispatch_per_task: SimTime,
+}
+
+impl Default for NodeParams {
+    fn default() -> Self {
+        NodeParams {
+            cpu: CpuModel::default(),
+            gpu: DeviceSpec::default(),
+            batch: BatcherConfig::default(),
+            data_fraction: 0.12,
+            data_threads_cap: 4,
+            dispatch_per_task: SimTime::from_micros(15),
+        }
+    }
+}
+
+/// Timing report of one node's run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeReport {
+    /// End-to-end simulated time.
+    pub total: SimTime,
+    /// Aggregate CPU compute busy time.
+    pub cpu_compute: SimTime,
+    /// Aggregate GPU busy time (kernels + transfers).
+    pub gpu_busy: SimTime,
+    /// Aggregate data-intensive (pre/post) busy time.
+    pub data_busy: SimTime,
+    /// Aggregate dispatcher busy time.
+    pub dispatch_busy: SimTime,
+    /// Batches flushed.
+    pub n_batches: u64,
+    /// Average CPU share `k` the dispatcher chose (hybrid only).
+    pub mean_split_k: f64,
+}
+
+/// Timing-only task for `spec`, carrying effective ranks when the
+/// workload uses rank reduction (inert on Fermi-class devices, active
+/// under Kepler dynamic parallelism — the paper's future work).
+fn shape_task(spec: &WorkloadSpec) -> TransformTask {
+    match spec.rr_mean_rank {
+        Some(kr) => TransformTask::shape_only_rr(spec.d, spec.k, spec.rank, 0, kr),
+        None => TransformTask::shape_only(spec.d, spec.k, spec.rank, 0),
+    }
+}
+
+/// Simulator for a single compute node.
+#[derive(Clone, Debug)]
+pub struct NodeSim {
+    params: NodeParams,
+}
+
+impl NodeSim {
+    /// A node with the given parameters.
+    pub fn new(params: NodeParams) -> Self {
+        NodeSim { params }
+    }
+
+    /// The node's parameters.
+    pub fn params(&self) -> &NodeParams {
+        &self.params
+    }
+
+    /// Per-task data-intensive time (preprocess + postprocess).
+    fn data_per_task(&self, spec: &WorkloadSpec) -> SimTime {
+        let full = self
+            .params
+            .cpu
+            .task_time(spec.task_flops(), spec.d, spec.k);
+        full * self.params.data_fraction
+    }
+
+    /// Effective parallel throughput divisor for data threads.
+    fn data_eff(&self, threads: usize) -> f64 {
+        self.params
+            .cpu
+            .effective_threads(threads.clamp(1, self.params.data_threads_cap))
+    }
+
+    /// Simulates `n_tasks` homogeneous tasks; returns the timing report.
+    pub fn simulate(&self, spec: &WorkloadSpec, n_tasks: u64, mode: ResourceMode) -> NodeReport {
+        if n_tasks == 0 {
+            return NodeReport::default();
+        }
+        match mode {
+            ResourceMode::CpuOnly { threads } => self.simulate_cpu_only(spec, n_tasks, threads),
+            ResourceMode::GpuOnly {
+                streams,
+                kernel,
+                data_threads,
+            } => self.simulate_device(spec, n_tasks, None, data_threads, streams, kernel),
+            ResourceMode::Hybrid {
+                compute_threads,
+                data_threads,
+                streams,
+                kernel,
+            } => self.simulate_device(
+                spec,
+                n_tasks,
+                Some(compute_threads),
+                data_threads,
+                streams,
+                kernel,
+            ),
+        }
+    }
+
+    /// CPU-only: data work and compute share the same worker threads, so
+    /// the two phases serialize (closed form; no pipeline to simulate).
+    fn simulate_cpu_only(&self, spec: &WorkloadSpec, n_tasks: u64, threads: usize) -> NodeReport {
+        let compute = self.params.cpu.batch_time(
+            n_tasks as usize,
+            spec.task_flops_cpu(),
+            spec.d,
+            spec.k,
+            spec.rank,
+            threads,
+        );
+        let data_each = self.data_per_task(spec);
+        let data = SimTime::from_secs_f64(
+            data_each.as_secs_f64() * n_tasks as f64 / self.data_eff(threads),
+        );
+        NodeReport {
+            total: compute + data,
+            cpu_compute: compute,
+            data_busy: data,
+            n_batches: n_tasks.div_ceil(self.params.batch.max_batch as u64),
+            ..NodeReport::default()
+        }
+    }
+
+    /// GPU-only and hybrid share the pipelined path; `compute_threads`
+    /// is `None` for GPU-only.
+    fn simulate_device(
+        &self,
+        spec: &WorkloadSpec,
+        n_tasks: u64,
+        compute_threads: Option<usize>,
+        data_threads: usize,
+        streams: usize,
+        kernel: KernelKind,
+    ) -> NodeReport {
+        let p = &self.params;
+        let mut device = GpuDevice::new(p.gpu.clone(), streams.max(1));
+        // Pinned staging buffers are page-locked once up front.
+        let pool = PinnedBufferPool::new(&p.gpu, 4, 32 << 20);
+        let start = pool.setup_cost();
+
+        let data_each = self.data_per_task(spec);
+        let pre_each = data_each * 0.6;
+        let post_each = data_each * 0.4;
+        let data_lanes = data_threads.clamp(1, p.data_threads_cap);
+        // Memory-bound data threads: lanes beyond the cap add nothing;
+        // contention inside the cap comes from the CPU model.
+        let lane_slowdown =
+            data_lanes as f64 / self.params.cpu.effective_threads(data_lanes);
+
+        let mut data_res = FifoResource::new(data_lanes);
+        let mut dispatcher = FifoResource::new(1);
+        let mut gpu_res = FifoResource::new(1); // batches serialize on the device
+        let mut cpu_res = FifoResource::new(1); // CPU compute = one fluid lane
+
+        let batch_cap = p.batch.max_batch as u64;
+        let mut remaining = n_tasks;
+        let mut n_batches = 0u64;
+        let mut split_acc = 0.0f64;
+        let mut cpu_busy = SimTime::ZERO;
+        let mut gpu_busy = SimTime::ZERO;
+        let mut post_release = Vec::new();
+        let pre_each_eff = pre_each * lane_slowdown;
+        let post_each_eff = post_each * lane_slowdown;
+
+        while remaining > 0 {
+            let b = remaining.min(batch_cap);
+            remaining -= b;
+            n_batches += 1;
+            // Preprocess the batch's tasks on the data lanes.
+            let mut release = start;
+            for _ in 0..b {
+                let (_, end) = data_res.serve(start, pre_each_eff);
+                release = release.max(end);
+            }
+            // Dispatcher rearranges the batch into transfer buffers.
+            let (_, disp_end) = dispatcher.serve(release, p.dispatch_per_task * b);
+
+            // Split.
+            let (cpu_n, gpu_n, k) = match compute_threads {
+                None => (0u64, b, 0.0),
+                Some(ct) => {
+                    let m = p
+                        .cpu
+                        .batch_time(b as usize, spec.task_flops_cpu(), spec.d, spec.k, spec.rank, ct)
+                        .as_secs_f64();
+                    let n = self
+                        .estimate_gpu_batch(&device, spec, b, kernel)
+                        .as_secs_f64();
+                    let plan = SplitPlan::for_times(b as usize, m, n);
+                    (plan.cpu_tasks as u64, plan.gpu_tasks as u64, madness_runtime::optimal_split(m, n))
+                }
+            };
+            split_acc += k;
+
+            // GPU part: transfers + kernels through the real device model
+            // (its write-once cache makes the first batch pay for the h
+            // blocks and later batches ride free).
+            if gpu_n > 0 {
+                let tasks: Vec<TransformTask> = (0..gpu_n)
+                    .map(|_| shape_task(spec))
+                    .collect();
+                let out = device.execute_batch(&tasks, kernel, ExecMode::Timing);
+                gpu_busy += out.time;
+                let (_, gend) = gpu_res.serve(disp_end, out.time);
+                post_release.push((gend, gpu_n));
+            }
+            // CPU part.
+            if cpu_n > 0 {
+                let ct = compute_threads.unwrap_or(1);
+                let dur = p.cpu.batch_time(
+                    cpu_n as usize,
+                    spec.task_flops_cpu(),
+                    spec.d,
+                    spec.k,
+                    spec.rank,
+                    ct,
+                );
+                cpu_busy += dur;
+                let (_, cend) = cpu_res.serve(disp_end, dur);
+                post_release.push((cend, cpu_n));
+            }
+        }
+
+        // Postprocess accumulations on the data lanes.
+        for (release, count) in post_release {
+            for _ in 0..count {
+                data_res.serve(release, post_each_eff);
+            }
+        }
+
+        let total = data_res
+            .makespan()
+            .max(dispatcher.makespan())
+            .max(gpu_res.makespan())
+            .max(cpu_res.makespan());
+        NodeReport {
+            total,
+            cpu_compute: cpu_busy,
+            gpu_busy,
+            data_busy: data_res.busy_time(),
+            dispatch_busy: dispatcher.busy_time(),
+            n_batches,
+            mean_split_k: if n_batches > 0 {
+                split_acc / n_batches as f64
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Steady-state estimate of a GPU batch (h blocks assumed cached) —
+    /// what the dispatcher "knows" about relative GPU performance.
+    fn estimate_gpu_batch(
+        &self,
+        device: &GpuDevice,
+        spec: &WorkloadSpec,
+        b: u64,
+        kernel: KernelKind,
+    ) -> SimTime {
+        let task = shape_task(spec);
+        let cost = madness_gpusim::kernel::kernel_cost(device.spec(), kernel, &task);
+        let conc = device.concurrency(cost.sms_used) as u64;
+        let compute = cost.duration * b / conc.max(1);
+        let engine = madness_gpusim::TransferEngine::new(device.spec());
+        let bytes = task.s_bytes() * b;
+        compute + engine.transfer_time(bytes, true) * 2u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_3d_k10() -> WorkloadSpec {
+        WorkloadSpec {
+            d: 3,
+            k: 10,
+            rank: 100,
+            rr_mean_rank: None,
+        }
+    }
+
+    fn sim() -> NodeSim {
+        NodeSim::new(NodeParams::default())
+    }
+
+    #[test]
+    fn zero_tasks_is_free() {
+        let r = sim().simulate(&spec_3d_k10(), 0, ResourceMode::CpuOnly { threads: 16 });
+        assert_eq!(r.total, SimTime::ZERO);
+    }
+
+    #[test]
+    fn cpu_thread_scaling_shape_of_table1() {
+        // Table I CPU column: t(1)/t(16) ≈ 6.7, monotone decreasing.
+        let s = spec_3d_k10();
+        let n = 24_000;
+        let t = |p| {
+            sim()
+                .simulate(&s, n, ResourceMode::CpuOnly { threads: p })
+                .total
+                .as_secs_f64()
+        };
+        let t1 = t(1);
+        let mut prev = t1;
+        for p in [2, 4, 8, 16] {
+            let tp = t(p);
+            assert!(tp < prev, "no speedup at {p} threads");
+            prev = tp;
+        }
+        let speedup = t1 / t(16);
+        assert!((5.0..8.0).contains(&speedup), "16-thread speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn gpu_stream_scaling_saturates_at_five() {
+        let s = spec_3d_k10();
+        let n = 6_000;
+        let t = |streams| {
+            sim()
+                .simulate(
+                    &s,
+                    n,
+                    ResourceMode::GpuOnly {
+                        streams,
+                        kernel: KernelKind::CustomMtxmq,
+                        data_threads: 12,
+                    },
+                )
+                .total
+                .as_secs_f64()
+        };
+        let t1 = t(1);
+        let t5 = t(5);
+        let t6 = t(6);
+        assert!(t1 / t5 > 2.0, "stream scaling too weak: {}", t1 / t5);
+        assert!((t6 - t5).abs() / t5 < 0.02, "no plateau: {t5} vs {t6}");
+    }
+
+    #[test]
+    fn hybrid_beats_both_pure_modes() {
+        // The paper's headline: hybrid < min(CPU-only, GPU-only).
+        let s = spec_3d_k10();
+        let n = 24_000;
+        let sm = sim();
+        let cpu = sm
+            .simulate(&s, n, ResourceMode::CpuOnly { threads: 16 })
+            .total;
+        let gpu = sm
+            .simulate(
+                &s,
+                n,
+                ResourceMode::GpuOnly {
+                    streams: 5,
+                    kernel: KernelKind::CustomMtxmq,
+                    data_threads: 12,
+                },
+            )
+            .total;
+        let hybrid = sm
+            .simulate(
+                &s,
+                n,
+                ResourceMode::Hybrid {
+                    compute_threads: 10,
+                    data_threads: 5,
+                    streams: 5,
+                    kernel: KernelKind::CustomMtxmq,
+                },
+            )
+            .total;
+        assert!(hybrid < cpu, "hybrid {hybrid} vs cpu {cpu}");
+        assert!(hybrid < gpu, "hybrid {hybrid} vs gpu {gpu}");
+    }
+
+    #[test]
+    fn hybrid_actual_lands_near_optimal_overlap() {
+        let s = spec_3d_k10();
+        let n = 24_000;
+        let sm = sim();
+        let m = sm
+            .simulate(&s, n, ResourceMode::CpuOnly { threads: 10 })
+            .total
+            .as_secs_f64();
+        let g = sm
+            .simulate(
+                &s,
+                n,
+                ResourceMode::GpuOnly {
+                    streams: 5,
+                    kernel: KernelKind::CustomMtxmq,
+                    data_threads: 12,
+                },
+            )
+            .total
+            .as_secs_f64();
+        let opt = madness_runtime::hybrid_optimal_time(m, g);
+        let actual = sm
+            .simulate(
+                &s,
+                n,
+                ResourceMode::Hybrid {
+                    compute_threads: 10,
+                    data_threads: 5,
+                    streams: 5,
+                    kernel: KernelKind::CustomMtxmq,
+                },
+            )
+            .total
+            .as_secs_f64();
+        // Table I: actual within ~±30 % of the formula's prediction.
+        assert!(
+            (actual / opt) > 0.7 && (actual / opt) < 1.5,
+            "actual {actual:.2} vs optimal {opt:.2}"
+        );
+    }
+
+    #[test]
+    fn dispatcher_split_favors_faster_side() {
+        let s = spec_3d_k10();
+        let sm = sim();
+        let r = sm.simulate(
+            &s,
+            6_000,
+            ResourceMode::Hybrid {
+                compute_threads: 10,
+                data_threads: 5,
+                streams: 5,
+                kernel: KernelKind::CustomMtxmq,
+            },
+        );
+        assert!(r.mean_split_k > 0.05 && r.mean_split_k < 0.95);
+        assert!(r.n_batches == 100);
+    }
+
+    #[test]
+    fn rank_reduction_speeds_cpu_only() {
+        // §II-D: up to 2.5× on the CPU.
+        let full = spec_3d_k10();
+        let rr = WorkloadSpec {
+            rr_mean_rank: Some(4),
+            ..full
+        };
+        let sm = sim();
+        let n = 6_000;
+        let t_full = sm.simulate(&full, n, ResourceMode::CpuOnly { threads: 16 }).total;
+        let t_rr = sm.simulate(&rr, n, ResourceMode::CpuOnly { threads: 16 }).total;
+        let gain = t_full.as_secs_f64() / t_rr.as_secs_f64();
+        assert!((1.5..2.6).contains(&gain), "rank-reduction gain {gain:.2}");
+    }
+
+    #[test]
+    fn rank_reduction_does_not_speed_gpu_custom_kernel() {
+        let full = spec_3d_k10();
+        let rr = WorkloadSpec {
+            rr_mean_rank: Some(4),
+            ..full
+        };
+        let sm = sim();
+        let mode = ResourceMode::GpuOnly {
+            streams: 5,
+            kernel: KernelKind::CustomMtxmq,
+            data_threads: 12,
+        };
+        let t_full = sm.simulate(&full, 3_000, mode).total;
+        let t_rr = sm.simulate(&rr, 3_000, mode).total;
+        assert_eq!(t_full, t_rr, "custom kernel must ignore rank reduction");
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the discrete-event core and node pipeline.
+
+use madness_cluster::des::{Des, FifoResource};
+use madness_cluster::node::{NodeParams, NodeSim, ResourceMode};
+use madness_cluster::workload::{TaskPopulation, WorkloadSpec};
+use madness_gpusim::{KernelKind, SimTime};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    (3usize..5, 6usize..22, 5usize..120).prop_map(|(d, k, rank)| WorkloadSpec {
+        d,
+        k,
+        rank,
+        rr_mean_rank: None,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The event heap delivers in non-decreasing time order regardless of
+    /// insertion order.
+    #[test]
+    fn des_orders_events(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut des: Des<usize> = Des::new();
+        for (i, &t) in times.iter().enumerate() {
+            des.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = des.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// FIFO resource: makespan × capacity ≥ total busy time (no lane can
+    /// be overcommitted), and serving order preserves release causality.
+    #[test]
+    fn fifo_resource_conservation(
+        capacity in 1usize..8,
+        jobs in proptest::collection::vec((0u64..10_000, 1u64..5_000), 1..100),
+    ) {
+        let mut r = FifoResource::new(capacity);
+        for &(release, dur) in &jobs {
+            let (start, end) = r.serve(
+                SimTime::from_nanos(release),
+                SimTime::from_nanos(dur),
+            );
+            prop_assert!(start >= SimTime::from_nanos(release));
+            prop_assert_eq!(end - start, SimTime::from_nanos(dur));
+        }
+        let busy = r.busy_time().as_nanos();
+        let span = r.makespan().as_nanos() * capacity as u64;
+        prop_assert!(busy <= span, "busy {busy} exceeds capacity-span {span}");
+        prop_assert_eq!(r.served(), jobs.len() as u64);
+    }
+
+    /// More CPU threads never slow a CPU-only run; more streams never
+    /// slow a GPU-only run.
+    #[test]
+    fn resources_never_hurt(spec in spec_strategy(), n_tasks in 50u64..2_000) {
+        let node = NodeSim::new(NodeParams::default());
+        let mut prev = SimTime::from_nanos(u64::MAX);
+        for p in [1usize, 2, 4, 8, 16] {
+            let t = node.simulate(&spec, n_tasks, ResourceMode::CpuOnly { threads: p }).total;
+            prop_assert!(t <= prev, "threads {p}: {t} > {prev}");
+            prev = t;
+        }
+        let mut prev = SimTime::from_nanos(u64::MAX);
+        for s in 1usize..=6 {
+            let t = node.simulate(&spec, n_tasks, ResourceMode::GpuOnly {
+                streams: s,
+                kernel: KernelKind::CustomMtxmq,
+                data_threads: 12,
+            }).total;
+            prop_assert!(t <= prev, "streams {s}: {t} > {prev}");
+            prev = t;
+        }
+    }
+
+    /// Hybrid dispatch never loses more than 5 % to the better pure mode
+    /// (the dispatcher can always send ~everything to the faster side).
+    #[test]
+    fn hybrid_near_best_pure_mode(spec in spec_strategy(), n_tasks in 200u64..3_000) {
+        let node = NodeSim::new(NodeParams::default());
+        let kernel = KernelKind::auto_select(spec.d, spec.k);
+        let cpu = node.simulate(&spec, n_tasks, ResourceMode::CpuOnly { threads: 16 }).total;
+        let gpu = node.simulate(&spec, n_tasks, ResourceMode::GpuOnly {
+            streams: 5, kernel, data_threads: 12,
+        }).total;
+        let hyb = node.simulate(&spec, n_tasks, ResourceMode::Hybrid {
+            compute_threads: 10, data_threads: 5, streams: 5, kernel,
+        }).total;
+        let best = cpu.min(gpu).as_secs_f64();
+        // Allowance for the hybrid's fixed costs — pinned-pool page-lock
+        // (2 ms) and the serial dispatcher (~15 µs/task): they dominate
+        // only microscopic workloads, where no one would engage the GPU
+        // path at all.
+        let allowance = 0.002 + n_tasks as f64 * 20e-6;
+        prop_assert!(
+            hyb.as_secs_f64() <= best * 1.05 + allowance,
+            "hybrid {hyb} vs best pure {best}"
+        );
+    }
+
+    /// Task populations conserve totals under any partition.
+    #[test]
+    fn population_conserves(total in 0u64..100_000, nodes in 1usize..64) {
+        let spec = WorkloadSpec { d: 3, k: 10, rank: 10, rr_mean_rank: None };
+        let pop = TaskPopulation::even(spec, total, nodes);
+        prop_assert_eq!(pop.total(), total);
+        prop_assert!(pop.max_per_node() <= total / nodes as u64 + 1);
+        prop_assert!(pop.imbalance() >= 0.999 || total == 0);
+    }
+}

@@ -1,0 +1,353 @@
+//! The Apply operator: Green's-function convolution over a function tree.
+//!
+//! `apply_cpu_reference` is Algorithm 1/2 verbatim: walk every
+//! coefficient node, and for every displacement compute
+//! `r = Σ_μ c_μ · s ×₁ h^{(μ,1)} ×₂ … ×_d h^{(μ,d)}` (Formula 1) and
+//! accumulate `r` into the neighbor.
+//!
+//! `apply_batched` is the paper's restructured pipeline (Algorithms 3–6):
+//! *preprocess* resolves neighbors and operator-block addresses,
+//! *compute* tasks batch per kind and are split between CPU threads and
+//! the simulated GPU by the dispatcher's `k* = n/(m+n)` rule,
+//! *postprocess* accumulates results. Both produce identical trees.
+
+use madness_gpusim::{ExecMode, GpuDevice, HBlock, KernelKind, TransformTask, TransformTerm};
+use madness_mra::convolution::SeparatedConvolution;
+use madness_mra::key::Key;
+use madness_mra::ops::sum_down;
+use madness_mra::tree::{FunctionTree, TreeForm};
+use madness_runtime::{Batcher, BatcherConfig, CpuModel, SplitPlan, TaskKind};
+use madness_tensor::{Tensor, TransformScratch};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Which resources execute the compute batches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ApplyResource {
+    /// CPU threads only (rayon pool).
+    Cpu,
+    /// Simulated GPU only.
+    Gpu,
+    /// Dispatcher-split CPU + GPU (the paper's hybrid).
+    Hybrid,
+}
+
+/// Configuration of a batched Apply run.
+#[derive(Clone, Debug)]
+pub struct ApplyConfig {
+    /// Compute resource.
+    pub resource: ApplyResource,
+    /// Batch flush policy (the paper's experiments use 60).
+    pub batch: BatcherConfig,
+    /// GPU kernel implementation (`None` = auto-select by shape).
+    pub kernel: Option<KernelKind>,
+    /// CUDA streams for the GPU path.
+    pub streams: usize,
+    /// CPU compute threads assumed by the dispatcher's split estimate.
+    pub threads: usize,
+    /// Rank-reduction threshold for the CPU path (`None` = off).
+    ///
+    /// Rank reduction is an approximation; enabling it makes CPU results
+    /// differ from the exact GPU results by O(eps), exactly as in
+    /// MADNESS.
+    pub rank_reduce_eps: Option<f64>,
+}
+
+impl Default for ApplyConfig {
+    fn default() -> Self {
+        ApplyConfig {
+            resource: ApplyResource::Hybrid,
+            batch: BatcherConfig::default(),
+            kernel: None,
+            streams: 5,
+            threads: 10,
+            rank_reduce_eps: None,
+        }
+    }
+}
+
+/// Statistics of a batched Apply run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ApplyStats {
+    /// Compute tasks executed (node × displacement pairs).
+    pub tasks: u64,
+    /// Batches flushed.
+    pub batches: u64,
+    /// Tasks the CPU side computed.
+    pub cpu_tasks: u64,
+    /// Tasks the GPU side computed.
+    pub gpu_tasks: u64,
+    /// Host-side operator-cache hits/misses ((h) blocks).
+    pub host_cache: (u64, u64),
+    /// Device-side write-once cache hits/misses/evictions.
+    pub device_cache: (u64, u64, u64),
+}
+
+/// One preprocessed compute task: Algorithm 4's output.
+struct PreparedTask {
+    neighbor: Key,
+    task: TransformTask,
+}
+
+/// Stable id for an `h` block: (μ, level, 1-D displacement), packed into
+/// disjoint bit fields (20 bits of displacement covers ±2^19 boxes, far
+/// beyond any displacement policy; the assert guards the invariant).
+fn h_block_id(mu: usize, level: u8, disp: i64) -> u64 {
+    let biased = disp + (1 << 19);
+    assert!(
+        (0..(1i64 << 20)).contains(&biased),
+        "displacement {disp} outside the id-packing range"
+    );
+    ((mu as u64) << 32) | ((level as u64) << 20) | biased as u64
+}
+
+/// "The memory address of the compute function" for the Apply kind.
+const APPLY_OP_ID: u64 = 0xA991;
+
+/// Algorithm 1: the unmodified CPU walk. Returns the reconstructed
+/// result tree (after `sum_down` of mixed-level accumulations).
+///
+/// # Panics
+/// Panics if the tree is not reconstructed or shapes mismatch the
+/// operator.
+pub fn apply_cpu_reference(op: &SeparatedConvolution, tree: &FunctionTree) -> FunctionTree {
+    assert_eq!(tree.form(), TreeForm::Reconstructed, "Apply needs leaves");
+    assert_eq!(tree.d(), op.d(), "operator/tree dimensionality mismatch");
+    assert_eq!(tree.k(), op.k(), "operator/tree order mismatch");
+
+    // Deterministic task order (sorted keys), parallel across sources.
+    let keys = tree.sorted_keys();
+    let contributions: Vec<(Key, Tensor)> = keys
+        .par_iter()
+        .filter_map(|key| {
+            let node = tree.get(key)?;
+            if !node.is_leaf() {
+                return None;
+            }
+            let s = node.coeffs.as_ref()?;
+            let mut scratch = TransformScratch::new();
+            let mut local = Vec::new();
+            let displacements = op.displacements_at(key.level());
+            for disp in displacements.iter() {
+                let Some(neighbor) = key.neighbor(&disp.delta) else {
+                    continue;
+                };
+                // integral_operator (Algorithm 2).
+                let mut r = Tensor::zeros(s.shape());
+                let mut scaled = Tensor::zeros(s.shape());
+                for mu in 0..op.rank() {
+                    let hs: Vec<Arc<Tensor>> = (0..op.d())
+                        .map(|dim| op.get_h(mu, key.level(), disp.delta[dim]))
+                        .collect();
+                    let hrefs: Vec<&Tensor> = hs.iter().map(|h| h.as_ref()).collect();
+                    scaled.as_mut_slice().copy_from_slice(s.as_slice());
+                    scaled.scale(op.terms()[mu].coeff);
+                    madness_tensor::transform_accumulate(&scaled, &hrefs, &mut scratch, &mut r);
+                }
+                local.push((neighbor, r));
+            }
+            Some(local)
+        })
+        .flatten()
+        .collect();
+
+    let mut result = FunctionTree::new(tree.d(), tree.k());
+    for (neighbor, r) in contributions {
+        result.accumulate(neighbor, 1.0, &r);
+    }
+    sum_down(&mut result);
+    result
+}
+
+/// Algorithms 3–6: the batched hybrid Apply.
+///
+/// # Panics
+/// Same contract as [`apply_cpu_reference`].
+pub fn apply_batched(
+    op: &SeparatedConvolution,
+    tree: &FunctionTree,
+    config: &ApplyConfig,
+) -> (FunctionTree, ApplyStats) {
+    assert_eq!(tree.form(), TreeForm::Reconstructed, "Apply needs leaves");
+    assert_eq!(tree.d(), op.d(), "operator/tree dimensionality mismatch");
+    assert_eq!(tree.k(), op.k(), "operator/tree order mismatch");
+    let d = op.d();
+    let k = op.k();
+    let kernel = config
+        .kernel
+        .unwrap_or_else(|| KernelKind::auto_select(d, k));
+    let mut device = GpuDevice::new(madness_gpusim::DeviceSpec::default(), config.streams);
+    let cpu_model = CpuModel::default();
+    let mut stats = ApplyStats::default();
+    // The operator's cache counters are cumulative across its lifetime;
+    // snapshot them so the stats report *this run's* hits/misses.
+    let host_cache_before = op.cache_stats();
+
+    // ---- preprocess (Algorithm 4): parallel, data-intensive ------------
+    let keys = tree.sorted_keys();
+    let prepared: Vec<PreparedTask> = keys
+        .par_iter()
+        .filter_map(|key| {
+            let node = tree.get(key)?;
+            if !node.is_leaf() {
+                return None;
+            }
+            let s = node.coeffs.as_ref()?;
+            let s = Arc::new(s.clone());
+            let mut local = Vec::new();
+            let displacements = op.displacements_at(key.level());
+            for disp in displacements.iter() {
+                let Some(neighbor) = key.neighbor(&disp.delta) else {
+                    continue;
+                };
+                let terms: Vec<TransformTerm> = (0..op.rank())
+                    .map(|mu| {
+                        let hs: Vec<HBlock> = (0..d)
+                            .map(|dim| {
+                                let delta = disp.delta[dim];
+                                HBlock::new(
+                                    h_block_id(mu, key.level(), delta),
+                                    op.get_h(mu, key.level(), delta),
+                                )
+                            })
+                            .collect();
+                        let effective_ranks = config.rank_reduce_eps.map(|eps| {
+                            (0..d)
+                                .map(|dim| {
+                                    op.effective_rank(mu, key.level(), disp.delta[dim], eps)
+                                })
+                                .collect()
+                        });
+                        TransformTerm {
+                            coeff: op.terms()[mu].coeff,
+                            hs,
+                            effective_ranks,
+                        }
+                    })
+                    .collect();
+                local.push(PreparedTask {
+                    neighbor,
+                    task: TransformTask {
+                        d,
+                        k,
+                        s: Some(Arc::clone(&s)),
+                        terms,
+                    },
+                });
+            }
+            Some(local)
+        })
+        .flatten()
+        .collect();
+    stats.tasks = prepared.len() as u64;
+
+    // ---- batch per kind, dispatch, compute ------------------------------
+    let mut batcher: Batcher<PreparedTask> = Batcher::new(config.batch);
+    let mut results: Vec<(Key, Tensor)> = Vec::with_capacity(prepared.len());
+    let mut run_batch = |batch: Vec<PreparedTask>,
+                         device: &mut GpuDevice,
+                         stats: &mut ApplyStats| {
+        stats.batches += 1;
+        let plan = match config.resource {
+            ApplyResource::Cpu => SplitPlan::all_cpu(batch.len()),
+            ApplyResource::Gpu => SplitPlan::all_gpu(batch.len()),
+            ApplyResource::Hybrid => {
+                let spec_flops = batch
+                    .first()
+                    .map(|p| p.task.flops_rank_reduced())
+                    .unwrap_or(0);
+                let m = cpu_model
+                    .batch_time(batch.len(), spec_flops, d, k, op.rank(), config.threads)
+                    .as_secs_f64();
+                let gcost = batch
+                    .first()
+                    .map(|p| madness_gpusim::kernel::kernel_cost(device.spec(), kernel, &p.task))
+                    .unwrap_or_default();
+                let conc = device.concurrency(gcost.sms_used).max(1) as f64;
+                let n = gcost.duration.as_secs_f64() * batch.len() as f64 / conc;
+                SplitPlan::for_times(batch.len(), m, n)
+            }
+        };
+        stats.cpu_tasks += plan.cpu_tasks as u64;
+        stats.gpu_tasks += plan.gpu_tasks as u64;
+        let mut cpu_part = batch;
+        let gpu_part = cpu_part.split_off(plan.cpu_tasks);
+
+        // CPU side (honours rank reduction).
+        let cpu_results: Vec<(Key, Tensor)> = cpu_part
+            .par_iter()
+            .map_init(TransformScratch::new, |scratch, p| {
+                (p.neighbor, compute_cpu(&p.task, scratch))
+            })
+            .collect();
+        results.extend(cpu_results);
+
+        // GPU side (always full rank — resources reserved at launch).
+        // Ownership moves into the task slice: no per-task deep clone.
+        if !gpu_part.is_empty() {
+            let (neighbors, tasks): (Vec<Key>, Vec<TransformTask>) = gpu_part
+                .into_iter()
+                .map(|p| (p.neighbor, p.task))
+                .unzip();
+            let out = device.execute_batch(&tasks, kernel, ExecMode::Full);
+            for (neighbor, r) in neighbors.into_iter().zip(out.results) {
+                results.push((neighbor, r.expect("full mode returns results")));
+            }
+        }
+    };
+
+    for p in prepared {
+        let kind = TaskKind {
+            op: APPLY_OP_ID,
+            data_hash: p.neighbor.level() as u64,
+        };
+        if let Some((_, full)) = batcher.push(kind, p) {
+            run_batch(full, &mut device, &mut stats);
+        }
+    }
+    for (_, rest) in batcher.flush_all() {
+        run_batch(rest, &mut device, &mut stats);
+    }
+
+    // ---- postprocess (Algorithm 6) --------------------------------------
+    let mut result_tree = FunctionTree::new(d, k);
+    for (neighbor, r) in results {
+        result_tree.accumulate(neighbor, 1.0, &r);
+    }
+    sum_down(&mut result_tree);
+
+    let host_cache_after = op.cache_stats();
+    stats.host_cache = (
+        host_cache_after.0 - host_cache_before.0,
+        host_cache_after.1 - host_cache_before.1,
+    );
+    let (h, m, e) = device.cache().stats();
+    stats.device_cache = (h, m, e);
+    (result_tree, stats)
+}
+
+/// CPU compute sub-task: rank-reduced when the term carries effective
+/// ranks, exact otherwise.
+fn compute_cpu(task: &TransformTask, scratch: &mut TransformScratch) -> Tensor {
+    let s = task.s.as_ref().expect("full-fidelity task");
+    let mut r = Tensor::zeros(s.shape());
+    let mut scaled = Tensor::zeros(s.shape());
+    for term in &task.terms {
+        let hrefs: Vec<&Tensor> = term
+            .hs
+            .iter()
+            .map(|h| h.data.as_deref().expect("block data present"))
+            .collect();
+        scaled.as_mut_slice().copy_from_slice(s.as_slice());
+        scaled.scale(term.coeff);
+        match &term.effective_ranks {
+            Some(krs) => {
+                madness_tensor::transform_rr_accumulate(&scaled, &hrefs, krs, scratch, &mut r);
+            }
+            None => {
+                madness_tensor::transform_accumulate(&scaled, &hrefs, scratch, &mut r);
+            }
+        }
+    }
+    r
+}

@@ -1,0 +1,33 @@
+//! # madness-core
+//!
+//! The paper's contribution assembled: the hybrid CPU-GPU **Apply**
+//! operator, built on the substrates of the sibling crates.
+//!
+//! * [`apply`] — Algorithm 1 (the CPU reference walk) and Algorithms 3–6
+//!   (the batched `preprocess → compute → postprocess` pipeline) in full
+//!   numeric fidelity, with the compute batches split between CPU
+//!   threads and the simulated GPU at the dispatcher's optimal ratio.
+//!   CPU, GPU and hybrid paths produce identical coefficients — the test
+//!   suite asserts it.
+//! * [`coulomb`] — the 3-D *Coulomb* application of Tables I–V: a
+//!   separated-rank `1/r` operator applied to an adaptively refined
+//!   charge density.
+//! * [`tdse`] — the 4-D *Time-Dependent Schrödinger Equation* workload of
+//!   Table VI (synthetic-propagator substitution per DESIGN.md §2).
+//! * [`scenario`] — experiment-scale scenario builders mapping the
+//!   paper's `(d, k, precision)` inputs to trees, operators, task
+//!   populations and node parameters; consumed by `madness-bench` and
+//!   the examples.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod apply;
+pub mod coulomb;
+pub mod scenario;
+pub mod tdse;
+
+pub use apply::{apply_batched, apply_cpu_reference, ApplyConfig, ApplyResource, ApplyStats};
+pub use coulomb::CoulombApp;
+pub use scenario::Scenario;
+pub use tdse::TdseApp;

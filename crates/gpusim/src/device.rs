@@ -1,0 +1,350 @@
+//! The simulated GPU device: streams, transfers, cache, batch execution.
+
+use crate::cache::DeviceHCache;
+use crate::clock::SimTime;
+use crate::kernel::{execute_task, kernel_cost, KernelKind};
+use crate::spec::DeviceSpec;
+use crate::task::TransformTask;
+use crate::transfer::TransferEngine;
+use madness_tensor::{Tensor, TransformScratch};
+use rayon::prelude::*;
+
+/// Whether batch execution performs the real arithmetic or only accounts
+/// time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Execute the tensor math on the host (results returned, timings
+    /// simulated) — used by correctness tests and small experiments.
+    Full,
+    /// Account simulated time only (no results) — used by 100–500-node
+    /// cluster sweeps.
+    Timing,
+}
+
+/// Cost breakdown of one batch execution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CostBreakdown {
+    /// Host→device time for source tensors (one aggregated transfer).
+    pub transfer_in_s: SimTime,
+    /// Host→device time for operator blocks missing from the cache.
+    pub transfer_in_h: SimTime,
+    /// Device→host time for results (one aggregated transfer).
+    pub transfer_out: SimTime,
+    /// Makespan of the kernels across the streams.
+    pub compute: SimTime,
+    /// Total kernel launches.
+    pub launches: u64,
+    /// Bytes moved host→device for source tensors.
+    pub bytes_s: u64,
+    /// Bytes moved host→device for new operator blocks.
+    pub bytes_h: u64,
+    /// Bytes moved device→host for results.
+    pub bytes_out: u64,
+}
+
+impl CostBreakdown {
+    /// Total simulated wall time of the batch (transfers serialize with
+    /// compute; intra-batch overlap is not modeled — the paper overlaps
+    /// *CPU* work with GPU batches, which the dispatcher layer handles).
+    pub fn total(&self) -> SimTime {
+        self.transfer_in_s + self.transfer_in_h + self.compute + self.transfer_out
+    }
+}
+
+/// Result of [`GpuDevice::execute_batch`].
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// One result per task (`None` in timing mode).
+    pub results: Vec<Option<Tensor>>,
+    /// Simulated batch duration.
+    pub time: SimTime,
+    /// Where the time went.
+    pub breakdown: CostBreakdown,
+}
+
+/// The simulated device: spec + transfer engine + persistent block cache.
+#[derive(Debug)]
+pub struct GpuDevice {
+    spec: DeviceSpec,
+    engine: TransferEngine,
+    cache: DeviceHCache,
+    streams: usize,
+    pinned: bool,
+}
+
+impl GpuDevice {
+    /// A device with `streams` CUDA streams and pinned staging buffers.
+    ///
+    /// # Panics
+    /// Panics if `streams` is zero or exceeds the spec's maximum.
+    pub fn new(spec: DeviceSpec, streams: usize) -> Self {
+        assert!(
+            streams >= 1 && streams <= spec.max_streams,
+            "stream count {streams} out of range"
+        );
+        GpuDevice {
+            engine: TransferEngine::new(&spec),
+            cache: DeviceHCache::new(spec.device_mem_bytes),
+            streams,
+            pinned: true,
+            spec,
+        }
+    }
+
+    /// The device spec.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Configured stream count.
+    pub fn streams(&self) -> usize {
+        self.streams
+    }
+
+    /// Reconfigures the stream count.
+    ///
+    /// # Panics
+    /// Panics if out of the spec's range.
+    pub fn set_streams(&mut self, streams: usize) {
+        assert!(streams >= 1 && streams <= self.spec.max_streams);
+        self.streams = streams;
+    }
+
+    /// Toggles pinned staging buffers (ablation: pageable transfers).
+    pub fn set_pinned(&mut self, pinned: bool) {
+        self.pinned = pinned;
+    }
+
+    /// The write-once block cache (for stats and tests).
+    pub fn cache(&self) -> &DeviceHCache {
+        &self.cache
+    }
+
+    /// Clears device state between runs.
+    pub fn reset(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Maximum kernels that can run concurrently given per-kernel SM
+    /// reservations and the stream count.
+    pub fn concurrency(&self, sms_per_kernel: usize) -> usize {
+        (self.spec.num_sms / sms_per_kernel.max(1))
+            .max(1)
+            .min(self.streams)
+    }
+
+    /// Executes a batch of compute tasks:
+    ///
+    /// 1. aggregate + transfer the source tensors (one DMA),
+    /// 2. transfer operator blocks not yet in the write-once cache,
+    /// 3. launch one kernel per task (custom) or per GEMM (cuBLAS-like),
+    ///    scheduled greedily over the streams,
+    /// 4. transfer results back (one DMA).
+    pub fn execute_batch(
+        &mut self,
+        tasks: &[TransformTask],
+        kind: KernelKind,
+        mode: ExecMode,
+    ) -> BatchOutcome {
+        let mut br = CostBreakdown::default();
+        if tasks.is_empty() {
+            return BatchOutcome {
+                results: Vec::new(),
+                time: SimTime::ZERO,
+                breakdown: br,
+            };
+        }
+
+        // --- transfers in ---------------------------------------------
+        br.bytes_s = tasks.iter().map(|t| t.s_bytes()).sum();
+        br.transfer_in_s = self.engine.transfer_time(br.bytes_s, self.pinned);
+        for t in tasks {
+            let per_block = t.h_block_bytes();
+            br.bytes_h += self.cache.ensure_batch(t.h_ids(), per_block);
+        }
+        br.transfer_in_h = self.engine.transfer_time(br.bytes_h, self.pinned);
+
+        // --- compute: greedy list scheduling over streams ---------------
+        let costs: Vec<_> = tasks.iter().map(|t| kernel_cost(&self.spec, kind, t)).collect();
+        br.launches = costs.iter().map(|c| c.launches).sum();
+        let sms_per_kernel = costs.iter().map(|c| c.sms_used).max().unwrap_or(1);
+        let lanes = self.concurrency(sms_per_kernel);
+        let mut lane_load = vec![SimTime::ZERO; lanes];
+        for c in &costs {
+            let (idx, _) = lane_load
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| **l)
+                .expect("at least one lane");
+            lane_load[idx] += c.duration;
+        }
+        br.compute = lane_load.into_iter().max().unwrap_or(SimTime::ZERO);
+
+        // --- transfer out ----------------------------------------------
+        br.bytes_out = br.bytes_s; // result blocks have the source shape
+        br.transfer_out = self.engine.transfer_time(br.bytes_out, self.pinned);
+
+        // --- arithmetic --------------------------------------------------
+        let results: Vec<Option<Tensor>> = match mode {
+            ExecMode::Timing => vec![None; tasks.len()],
+            ExecMode::Full => tasks
+                .par_iter()
+                .map_init(TransformScratch::new, |scratch, t| {
+                    execute_task(t, scratch)
+                })
+                .collect(),
+        };
+
+        BatchOutcome {
+            results,
+            time: br.total(),
+            breakdown: br,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{HBlock, TransformTerm};
+    use madness_tensor::Shape;
+    use std::sync::Arc;
+
+    fn device(streams: usize) -> GpuDevice {
+        GpuDevice::new(DeviceSpec::default(), streams)
+    }
+
+    fn timing_batch(n: usize) -> Vec<TransformTask> {
+        (0..n)
+            .map(|i| TransformTask::shape_only(3, 10, 100, 1 + i as u64))
+            .collect()
+    }
+
+    /// Batch sharing the same h blocks across tasks (the realistic case:
+    /// "hundreds of input h tensors" reused by many source tensors).
+    fn shared_h_batch(n: usize) -> Vec<TransformTask> {
+        (0..n)
+            .map(|_| TransformTask::shape_only(3, 10, 100, 0))
+            .collect()
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let out = device(5).execute_batch(&[], KernelKind::CustomMtxmq, ExecMode::Timing);
+        assert_eq!(out.time, SimTime::ZERO);
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn streams_scale_until_sm_limit() {
+        // Table I GPU column: near-linear to ~5 streams, flat after —
+        // ⌊16 SMs / 3 SMs⌋ = 5 concurrent custom kernels.
+        let batch = timing_batch(60);
+        let t = |s: usize| {
+            let mut d = device(s);
+            d.execute_batch(&batch, KernelKind::CustomMtxmq, ExecMode::Timing)
+                .time
+                .as_secs_f64()
+        };
+        let t1 = t(1);
+        let t5 = t(5);
+        let t6 = t(6);
+        assert!(t1 / t5 > 3.5, "stream scaling too weak: {}", t1 / t5);
+        assert!(
+            (t6 - t5).abs() < 0.05 * t5,
+            "no saturation at 5 streams: {t5} vs {t6}"
+        );
+    }
+
+    #[test]
+    fn h_cache_avoids_second_transfer() {
+        let batch = shared_h_batch(10);
+        let mut d = device(5);
+        let first = d.execute_batch(&batch, KernelKind::CustomMtxmq, ExecMode::Timing);
+        assert!(first.breakdown.bytes_h > 0);
+        let second = d.execute_batch(&batch, KernelKind::CustomMtxmq, ExecMode::Timing);
+        assert_eq!(second.breakdown.bytes_h, 0, "cache missed on re-run");
+        assert!(second.time < first.time);
+    }
+
+    #[test]
+    fn shared_blocks_transfer_once_within_batch() {
+        let mut d = device(5);
+        let out = d.execute_batch(&shared_h_batch(20), KernelKind::CustomMtxmq, ExecMode::Timing);
+        // 20 tasks × 300 block refs, but only 300 distinct blocks.
+        let per_block = 8 * 10 * 10;
+        assert_eq!(out.breakdown.bytes_h, 300 * per_block);
+    }
+
+    #[test]
+    fn pageable_slower_than_pinned() {
+        let batch = timing_batch(40);
+        let mut dp = device(5);
+        let mut dg = device(5);
+        dg.set_pinned(false);
+        let tp = dp.execute_batch(&batch, KernelKind::CustomMtxmq, ExecMode::Timing);
+        let tg = dg.execute_batch(&batch, KernelKind::CustomMtxmq, ExecMode::Timing);
+        let tin_p = tp.breakdown.transfer_in_s + tp.breakdown.transfer_in_h;
+        let tin_g = tg.breakdown.transfer_in_s + tg.breakdown.transfer_in_h;
+        assert!(tin_g > tin_p * 2u64, "pageable {tin_g} vs pinned {tin_p}");
+    }
+
+    #[test]
+    fn full_mode_computes_correct_results() {
+        let k = 5;
+        let s = Arc::new(Tensor::from_fn(Shape::cube(3, k), |ix| {
+            ((ix[0] + 2 * ix[1] + 3 * ix[2]) as f64).sin()
+        }));
+        let ident = Arc::new(Tensor::identity(k));
+        let task = TransformTask {
+            d: 3,
+            k,
+            s: Some(Arc::clone(&s)),
+            terms: vec![TransformTerm {
+                coeff: 4.0,
+                hs: (0..3).map(|i| HBlock::new(i as u64, Arc::clone(&ident))).collect(),
+                effective_ranks: None,
+            }],
+        };
+        let mut d = device(3);
+        let out = d.execute_batch(
+            std::slice::from_ref(&task),
+            KernelKind::CustomMtxmq,
+            ExecMode::Full,
+        );
+        let r = out.results[0].as_ref().unwrap();
+        assert!(r.distance(&(&*s * 4.0)) < 1e-12);
+        // And both kernel kinds agree bit-for-bit.
+        let mut d2 = device(3);
+        let out2 = d2.execute_batch(
+            std::slice::from_ref(&task),
+            KernelKind::CublasLike,
+            ExecMode::Full,
+        );
+        assert_eq!(
+            r.as_slice(),
+            out2.results[0].as_ref().unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn batched_transfer_beats_per_task_transfers() {
+        // The core batching claim: one aggregated DMA vs one per task.
+        let d = device(5);
+        let batch = timing_batch(60);
+        let bytes: u64 = batch.iter().map(|t| t.s_bytes()).sum();
+        let engine = TransferEngine::new(d.spec());
+        let batched = engine.transfer_time(bytes, true);
+        let per_task = engine.transfer_time_ops(bytes, 60, true);
+        assert!(per_task.as_secs_f64() > 3.0 * batched.as_secs_f64());
+    }
+
+    #[test]
+    fn reset_clears_cache() {
+        let mut d = device(2);
+        d.execute_batch(&shared_h_batch(3), KernelKind::CustomMtxmq, ExecMode::Timing);
+        assert!(!d.cache().is_empty());
+        d.reset();
+        assert!(d.cache().is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the device model's monotonicity and
+//! accounting invariants.
+
+use madness_gpusim::kernel::{execute_task, kernel_cost};
+use madness_gpusim::{
+    DeviceSpec, ExecMode, GpuDevice, HBlock, KernelKind, SimTime, TransformTask, TransformTerm,
+};
+use madness_tensor::{Shape, Tensor, TransformScratch};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn kinds() -> impl Strategy<Value = KernelKind> {
+    prop_oneof![
+        Just(KernelKind::CustomMtxmq),
+        Just(KernelKind::CublasLike)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Kernel cost is monotone in rank for both kernel kinds.
+    #[test]
+    fn cost_monotone_in_rank(kind in kinds(), k in 6usize..24, d in 3usize..5) {
+        let spec = DeviceSpec::default();
+        let mut prev = SimTime::ZERO;
+        for rank in [1usize, 10, 50, 100] {
+            let t = TransformTask::shape_only(d, k, rank, 0);
+            let c = kernel_cost(&spec, kind, &t);
+            prop_assert!(c.duration > prev, "{kind:?} rank {rank}");
+            prev = c.duration;
+        }
+    }
+
+    /// Throughput (FLOPs per second) is monotone non-decreasing in k for
+    /// both kinds — bigger tiles always use the device at least as well.
+    /// (Raw *duration* is not monotone for cuBLAS: a k=14 GEMM can finish
+    /// as fast as a k=10 one because efficiency grows faster than work —
+    /// real GPUs show the same behaviour on skinny GEMMs.)
+    #[test]
+    fn throughput_monotone_in_k(kind in kinds(), d in 3usize..5) {
+        let spec = DeviceSpec::default();
+        let mut prev = 0.0f64;
+        for k in [6usize, 10, 14, 16] {
+            let t = TransformTask::shape_only(d, k, 50, 0);
+            let c = kernel_cost(&spec, kind, &t);
+            let gflops = t.flops() as f64 / c.duration.as_secs_f64() / 1e9;
+            prop_assert!(gflops >= prev * 0.999, "{kind:?} k {k}: {gflops} < {prev}");
+            prev = gflops;
+        }
+    }
+
+    /// Custom kernels launch once; cuBLAS launches M·d times; SM usage
+    /// stays within the device.
+    #[test]
+    fn launch_and_sm_accounting(k in 6usize..30, rank in 1usize..120, d in 3usize..5) {
+        let spec = DeviceSpec::default();
+        let t = TransformTask::shape_only(d, k, rank, 0);
+        let custom = kernel_cost(&spec, KernelKind::CustomMtxmq, &t);
+        let cublas = kernel_cost(&spec, KernelKind::CublasLike, &t);
+        prop_assert_eq!(custom.launches, 1);
+        prop_assert_eq!(cublas.launches, (rank * d) as u64);
+        prop_assert!(custom.sms_used >= 2 && custom.sms_used <= 3);
+        prop_assert!(cublas.sms_used >= 1 && cublas.sms_used <= spec.num_sms);
+    }
+
+    /// Batch time is superadditive-ish: a bigger batch never runs faster,
+    /// and never slower than proportionally (cache warm-up only helps).
+    #[test]
+    fn batch_time_monotone(kind in kinds(), n1 in 1usize..40, extra in 1usize..40) {
+        let mk = |n: usize| -> SimTime {
+            let mut dev = GpuDevice::new(DeviceSpec::default(), 5);
+            let tasks: Vec<TransformTask> = (0..n)
+                .map(|_| TransformTask::shape_only(3, 10, 20, 0))
+                .collect();
+            dev.execute_batch(&tasks, kind, ExecMode::Timing).time
+        };
+        let small = mk(n1);
+        let big = mk(n1 + extra);
+        prop_assert!(big >= small, "{kind:?}: {big} < {small}");
+    }
+
+    /// Device cache accounting: bytes_used equals blocks × block size,
+    /// hits + misses equals block references.
+    #[test]
+    fn cache_accounting(n_tasks in 1usize..20, rank in 1usize..30) {
+        let mut dev = GpuDevice::new(DeviceSpec::default(), 5);
+        let tasks: Vec<TransformTask> = (0..n_tasks)
+            .map(|_| TransformTask::shape_only(3, 10, rank, 0))
+            .collect();
+        dev.execute_batch(&tasks, KernelKind::CustomMtxmq, ExecMode::Timing);
+        let (hits, misses, evictions) = dev.cache().stats();
+        prop_assert_eq!(evictions, 0);
+        prop_assert_eq!(hits + misses, (n_tasks * rank * 3) as u64);
+        prop_assert_eq!(misses as usize, dev.cache().len());
+        prop_assert_eq!(dev.cache().bytes_used(), misses * 800);
+    }
+
+    /// Full-fidelity execution is linear: executing a task with doubled
+    /// coefficients doubles the result.
+    #[test]
+    fn execution_linear_in_coeffs(k in 2usize..6, c1 in -3.0f64..3.0) {
+        let s = Arc::new(Tensor::from_fn(Shape::cube(3, k), |ix| {
+            (ix[0] + 2 * ix[1]) as f64 - ix[2] as f64 * 0.5
+        }));
+        let h = Arc::new(Tensor::from_fn(Shape::matrix(k, k), |ix| {
+            ((ix[0] * 3 + ix[1]) as f64).cos()
+        }));
+        let mk = |coeff: f64| TransformTask {
+            d: 3,
+            k,
+            s: Some(Arc::clone(&s)),
+            terms: vec![TransformTerm {
+                coeff,
+                hs: (0..3).map(|i| HBlock::new(i as u64, Arc::clone(&h))).collect(),
+                effective_ranks: None,
+            }],
+        };
+        let mut scratch = TransformScratch::new();
+        let r1 = execute_task(&mk(c1), &mut scratch).unwrap();
+        let r2 = execute_task(&mk(2.0 * c1), &mut scratch).unwrap();
+        let want = &r1 * 2.0;
+        prop_assert!(r2.distance(&want) < 1e-9 * (1.0 + want.normf()));
+    }
+
+    /// SimTime arithmetic respects ordering.
+    #[test]
+    fn simtime_algebra(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let ta = SimTime::from_nanos(a);
+        let tb = SimTime::from_nanos(b);
+        prop_assert_eq!((ta + tb).as_nanos(), a + b);
+        prop_assert_eq!(ta.max(tb).as_nanos(), a.max(b));
+        prop_assert_eq!(ta.min(tb).as_nanos(), a.min(b));
+        prop_assert_eq!(ta.saturating_sub(tb).as_nanos(), a.saturating_sub(b));
+    }
+}

@@ -1,0 +1,108 @@
+//! A small, fast, non-cryptographic hasher for `Key`-indexed maps.
+//!
+//! The distributed tree performs millions of key lookups; SipHash (std's
+//! default) is measurably slow for such short keys. This is the classic
+//! Fx multiply-xor hash (as used throughout rustc), reimplemented here in
+//! ~30 lines to keep the workspace dependency list to the approved set.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher; good distribution for short integer-rich keys,
+/// not HashDoS-resistant (irrelevant: keys are internal, not attacker
+/// controlled).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Key;
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: FxHashMap<Key, usize> = FxHashMap::default();
+        let root = Key::root(3);
+        for (i, c) in root.children().enumerate() {
+            m.insert(c, i);
+        }
+        assert_eq!(m.len(), 8);
+        for (i, c) in root.children().enumerate() {
+            assert_eq!(m.get(&c), Some(&i));
+        }
+    }
+
+    #[test]
+    fn hashes_spread() {
+        use std::hash::BuildHasher;
+        let bh = FxBuildHasher::default();
+        let mut seen = FxHashSet::default();
+        let root = Key::root(2);
+        let mut stack = vec![root];
+        while let Some(k) = stack.pop() {
+            if k.level() < 4 {
+                stack.extend(k.children());
+            }
+            
+            
+            seen.insert(bh.hash_one(k));
+        }
+        // All distinct (would be astronomically unlikely to collide).
+        assert!(seen.len() > 300);
+    }
+}

@@ -1,0 +1,322 @@
+//! Process maps: the tree-node → compute-node mapping.
+//!
+//! "The distribution is done using a tree-node to compute-node mapping.
+//! There are much more tree-nodes than compute-nodes and a tree-node
+//! resides on a single compute-node." MADNESS exposes this as a *process
+//! map*; the paper's experiments use two kinds:
+//!
+//! * an **even map** (Tables III–IV: "a MADNESS process map that
+//!   distributes work evenly among all compute nodes"), and
+//! * a **locality map** (Table V: "MADNESS does not distribute work evenly
+//!   between compute nodes, but rather attempts to achieve work locality
+//!   … depending on the shape of the highly unbalanced tree"), which is
+//!   responsible for the 6→8-node speedup plateau.
+
+use crate::key::Key;
+
+/// A deterministic assignment of tree nodes to compute nodes.
+pub trait ProcessMap: Send + Sync {
+    /// The compute node (`0..n_nodes`) that owns `key`.
+    fn owner(&self, key: &Key, n_nodes: usize) -> usize;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Hash-based round-robin: every key lands independently, giving an even
+/// (but locality-free) distribution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EvenMap;
+
+impl ProcessMap for EvenMap {
+    fn owner(&self, key: &Key, n_nodes: usize) -> usize {
+        assert!(n_nodes > 0, "cluster must have nodes");
+        (key.hash64() % n_nodes as u64) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "even"
+    }
+}
+
+/// Subtree-locality map: a key is owned by whoever owns its ancestor at
+/// `depth`, so whole subtrees stay on one compute node. With an
+/// unbalanced tree this deliberately trades balance for locality — at
+/// `depth = 1` there are at most `2^d` distinct owners, which reproduces
+/// the paper's observation that some configurations have "not enough work
+/// to distribute" to all nodes.
+#[derive(Clone, Copy, Debug)]
+pub struct SubtreeMap {
+    /// Tree depth at which ownership is decided.
+    pub depth: u8,
+}
+
+impl SubtreeMap {
+    /// A locality map deciding ownership at the given depth.
+    pub fn new(depth: u8) -> Self {
+        assert!(depth >= 1, "depth must be at least 1");
+        SubtreeMap { depth }
+    }
+}
+
+impl ProcessMap for SubtreeMap {
+    fn owner(&self, key: &Key, n_nodes: usize) -> usize {
+        assert!(n_nodes > 0, "cluster must have nodes");
+        if key.level() == 0 {
+            return 0;
+        }
+        // Ancestor at min(level, depth).
+        let mut anc = *key;
+        while anc.level() > self.depth {
+            anc = anc.parent().expect("non-root has parent");
+        }
+        (anc.hash64() % n_nodes as u64) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "subtree-locality"
+    }
+}
+
+/// Cost-informed static partition: subtrees (rooted at `depth`) are
+/// greedily bin-packed onto compute nodes, heaviest first (LPT) — the
+/// analogue of MADNESS's load-balancing process maps, which weigh
+/// subtrees by measured cost while preserving locality. Built once per
+/// `(tree, n_nodes)` pair; ownership is then a table lookup.
+#[derive(Clone, Debug)]
+pub struct CostPartitionMap {
+    depth: u8,
+    n_nodes: usize,
+    owners: crate::hashing::FxHashMap<Key, usize>,
+}
+
+impl CostPartitionMap {
+    /// Partitions the subtree roots of `tree` at `depth` over `n_nodes`,
+    /// weighting each subtree by its number of coefficient-carrying
+    /// leaves (∝ Apply tasks).
+    ///
+    /// # Panics
+    /// Panics if `n_nodes == 0` or `depth == 0`.
+    pub fn build(tree: &crate::tree::FunctionTree, depth: u8, n_nodes: usize) -> Self {
+        assert!(n_nodes > 0, "cluster must have nodes");
+        assert!(depth >= 1, "depth must be at least 1");
+        // Weight per subtree root (the ancestor at `depth`, or the key
+        // itself for shallower keys).
+        let mut weights: crate::hashing::FxHashMap<Key, u64> =
+            crate::hashing::FxHashMap::default();
+        for (key, node) in tree.iter() {
+            if !node.is_leaf() {
+                continue;
+            }
+            let mut anc = *key;
+            while anc.level() > depth {
+                anc = anc.parent().expect("non-root has parent");
+            }
+            *weights.entry(anc).or_insert(0) += 1;
+        }
+        // LPT greedy: heaviest subtree to the least-loaded node.
+        let mut roots: Vec<(Key, u64)> = weights.into_iter().collect();
+        roots.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut load = vec![0u64; n_nodes];
+        let mut owners = crate::hashing::FxHashMap::default();
+        for (root, w) in roots {
+            let (idx, _) = load
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| **l)
+                .expect("n_nodes > 0");
+            load[idx] += w;
+            owners.insert(root, idx);
+        }
+        CostPartitionMap {
+            depth,
+            n_nodes,
+            owners,
+        }
+    }
+}
+
+impl ProcessMap for CostPartitionMap {
+    fn owner(&self, key: &Key, n_nodes: usize) -> usize {
+        assert_eq!(
+            n_nodes, self.n_nodes,
+            "map was built for {} nodes",
+            self.n_nodes
+        );
+        let mut anc = *key;
+        while anc.level() > self.depth {
+            anc = anc.parent().expect("non-root has parent");
+        }
+        // Keys outside any weighted subtree (interior scaffolding, or
+        // leaves added later) fall back to hashing.
+        self.owners
+            .get(&anc)
+            .copied()
+            .unwrap_or_else(|| (anc.hash64() % n_nodes as u64) as usize)
+    }
+
+    fn name(&self) -> &'static str {
+        "cost-partition"
+    }
+}
+
+/// Counts how many keys each compute node owns (for balance diagnostics
+/// and the experiment harness).
+pub fn load_histogram<'a>(
+    map: &dyn ProcessMap,
+    keys: impl Iterator<Item = &'a Key>,
+    n_nodes: usize,
+) -> Vec<usize> {
+    let mut h = vec![0usize; n_nodes];
+    for k in keys {
+        h[map.owner(k, n_nodes)] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_keys(d: usize, depth: u8) -> Vec<Key> {
+        let mut out = vec![Key::root(d)];
+        let mut frontier = vec![Key::root(d)];
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for k in frontier {
+                for c in k.children() {
+                    out.push(c);
+                    next.push(c);
+                }
+            }
+            frontier = next;
+        }
+        out
+    }
+
+    #[test]
+    fn even_map_covers_all_nodes() {
+        let keys = all_keys(3, 3); // 1 + 8 + 64 + 512 keys
+        let h = load_histogram(&EvenMap, keys.iter(), 16);
+        assert!(h.iter().all(|&c| c > 0), "some node got nothing: {h:?}");
+        // Roughly balanced: within 3x of mean.
+        let mean = keys.len() / 16;
+        assert!(h.iter().all(|&c| c < 3 * mean), "unbalanced: {h:?}");
+    }
+
+    #[test]
+    fn even_map_is_deterministic() {
+        let k = Key::root(3).child(5).child(1);
+        assert_eq!(EvenMap.owner(&k, 100), EvenMap.owner(&k, 100));
+    }
+
+    #[test]
+    fn subtree_map_keeps_descendants_together() {
+        let map = SubtreeMap::new(1);
+        let root = Key::root(3);
+        for w in 0..8 {
+            let anc = root.child(w);
+            let owner = map.owner(&anc, 64);
+            let deep = anc.child(3).child(7).child(1);
+            assert_eq!(map.owner(&deep, 64), owner);
+        }
+    }
+
+    #[test]
+    fn subtree_map_depth1_uses_at_most_2d_owners() {
+        let map = SubtreeMap::new(1);
+        let keys = all_keys(3, 4);
+        let mut owners: Vec<usize> = keys
+            .iter()
+            .map(|k| map.owner(k, 1000))
+            .collect();
+        owners.sort_unstable();
+        owners.dedup();
+        assert!(
+            owners.len() <= 9, // 8 subtrees + root
+            "too many owners: {}",
+            owners.len()
+        );
+    }
+
+    #[test]
+    fn cost_partition_balances_lumpy_trees() {
+        use crate::synth::{synthesize_tree, SynthTreeParams};
+        let tree = synthesize_tree(
+            3,
+            6,
+            &SynthTreeParams {
+                target_leaves: 3000,
+                centers: vec![vec![0.3, 0.4, 0.5]],
+                width: 0.12,
+                level_decay: 0.5,
+                seed: 11,
+                with_coeffs: false,
+            },
+        );
+        let n = 8;
+        let lpt = CostPartitionMap::build(&tree, 4, n);
+        let leaf_keys: Vec<Key> = tree
+            .iter()
+            .filter(|(_, nd)| nd.is_leaf())
+            .map(|(k, _)| *k)
+            .collect();
+        let h_lpt = load_histogram(&lpt, leaf_keys.iter(), n);
+        let h_hash = load_histogram(&SubtreeMap::new(4), leaf_keys.iter(), n);
+        let imb = |h: &[usize]| {
+            let mean = h.iter().sum::<usize>() as f64 / h.len() as f64;
+            h.iter().copied().max().unwrap() as f64 / mean
+        };
+        assert!(
+            imb(&h_lpt) <= imb(&h_hash) + 1e-9,
+            "LPT {:.2} vs hash {:.2}",
+            imb(&h_lpt),
+            imb(&h_hash)
+        );
+        assert!(imb(&h_lpt) < 2.0, "LPT imbalance {:.2}", imb(&h_lpt));
+    }
+
+    #[test]
+    fn cost_partition_keeps_subtrees_together() {
+        use crate::synth::{synthesize_tree, SynthTreeParams};
+        let tree = synthesize_tree(2, 4, &SynthTreeParams {
+            target_leaves: 200,
+            centers: vec![vec![0.5, 0.5]],
+            width: 0.2,
+            level_decay: 0.5,
+            seed: 3,
+            with_coeffs: false,
+        });
+        let map = CostPartitionMap::build(&tree, 2, 7);
+        for (key, node) in tree.iter() {
+            if node.is_leaf() && key.level() > 2 {
+                let mut anc = *key;
+                while anc.level() > 2 {
+                    anc = anc.parent().unwrap();
+                }
+                assert_eq!(map.owner(key, 7), map.owner(&anc, 7));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "map was built for")]
+    fn cost_partition_rejects_wrong_node_count() {
+        let tree = crate::tree::FunctionTree::new(2, 4);
+        let map = CostPartitionMap::build(&tree, 1, 4);
+        let _ = map.owner(&Key::root(2), 8);
+    }
+
+    #[test]
+    fn deeper_subtree_map_spreads_more() {
+        let keys = all_keys(3, 4);
+        let count_owners = |depth| {
+            let map = SubtreeMap::new(depth);
+            let mut o: Vec<usize> = keys.iter().map(|k| map.owner(k, 10_000)).collect();
+            o.sort_unstable();
+            o.dedup();
+            o.len()
+        };
+        assert!(count_owners(2) > count_owners(1));
+    }
+}

@@ -1,0 +1,253 @@
+//! Gauss-Legendre quadrature and Legendre scaling functions.
+//!
+//! MADNESS's multiwavelet basis on each box is built from the first `k`
+//! normalized Legendre polynomials, `φ_i(x) = √(2i+1) · P_i(2x−1)` on
+//! `[0,1]`, and all projections/operator matrix elements are evaluated by
+//! Gauss-Legendre quadrature (exact for polynomials of degree `< 2k`).
+
+use madness_tensor::{Shape, Tensor};
+
+/// Evaluates Legendre polynomials `P_0..P_{k-1}` at `x ∈ [-1,1]` by the
+/// three-term recurrence, writing into `out`.
+///
+/// # Panics
+/// Panics if `out.len() != k`.
+pub fn legendre(k: usize, x: f64, out: &mut [f64]) {
+    assert_eq!(out.len(), k, "output length mismatch");
+    if k == 0 {
+        return;
+    }
+    out[0] = 1.0;
+    if k == 1 {
+        return;
+    }
+    out[1] = x;
+    for n in 1..(k - 1) {
+        let nf = n as f64;
+        out[n + 1] = ((2.0 * nf + 1.0) * x * out[n] - nf * out[n - 1]) / (nf + 1.0);
+    }
+}
+
+/// Derivative of `P_n` at `x`, via `(1−x²) P'_n = n (P_{n−1} − x P_n)`.
+fn legendre_deriv(n: usize, x: f64, pn: f64, pnm1: f64) -> f64 {
+    if x.abs() >= 1.0 - 1e-14 {
+        // Endpoint limit: P'_n(±1) = ±1^{n-1} n(n+1)/2; never hit by GL roots.
+        let s = if x > 0.0 { 1.0 } else { (-1.0f64).powi(n as i32 - 1) };
+        return s * (n * (n + 1)) as f64 / 2.0;
+    }
+    (n as f64) * (pnm1 - x * pn) / (1.0 - x * x)
+}
+
+/// Gauss-Legendre quadrature rule with `n` points on `[0, 1]`.
+///
+/// Returns `(points, weights)`; exact for polynomials of degree `≤ 2n−1`.
+///
+/// # Panics
+/// Panics if `n == 0` or Newton iteration fails to converge (does not
+/// happen for `n ≤ 128`, asserted).
+pub fn gauss_legendre(n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!((1..=128).contains(&n), "unsupported rule size {n}");
+    let mut pts = vec![0.0; n];
+    let mut wts = vec![0.0; n];
+    let mut work = vec![0.0; n + 1];
+    for i in 0..n {
+        // Chebyshev-like initial guess for the i-th root of P_n on [-1,1].
+        let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        let mut converged = false;
+        for _ in 0..100 {
+            legendre(n + 1, x, &mut work);
+            let pn = work[n];
+            let pnm1 = work[n - 1];
+            let dpn = legendre_deriv(n, x, pn, pnm1);
+            let dx = pn / dpn;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                converged = true;
+                break;
+            }
+        }
+        assert!(converged, "GL Newton failed at n={n}, i={i}");
+        legendre(n + 1, x, &mut work);
+        let dpn = legendre_deriv(n, x, work[n], work[n - 1]);
+        // Standard weight on [-1,1]; roots come out in descending order,
+        // flip to ascending on [0,1].
+        let w = 2.0 / ((1.0 - x * x) * dpn * dpn);
+        pts[n - 1 - i] = 0.5 * (x + 1.0);
+        wts[n - 1 - i] = 0.5 * w;
+    }
+    (pts, wts)
+}
+
+/// Evaluates the normalized scaling functions
+/// `φ_i(x) = √(2i+1) P_i(2x−1)`, `i < k`, at `x ∈ [0,1]`.
+///
+/// # Panics
+/// Panics if `out.len() != k`.
+pub fn scaling_functions(k: usize, x: f64, out: &mut [f64]) {
+    legendre(k, 2.0 * x - 1.0, out);
+    for (i, v) in out.iter_mut().enumerate() {
+        *v *= ((2 * i + 1) as f64).sqrt();
+    }
+}
+
+/// Precomputed quadrature machinery for one `k`: nodes, weights, and the
+/// matrices mapping between point values and scaling-function coefficients
+/// on a box.
+#[derive(Clone, Debug)]
+pub struct Quadrature {
+    k: usize,
+    points: Vec<f64>,
+    weights: Vec<f64>,
+    /// `quad_phi[q*k + i] = φ_i(x_q)` — evaluate coefficients at nodes.
+    quad_phi: Tensor,
+    /// `quad_phiw[q*k + i] = w_q · φ_i(x_q)` — project node values to
+    /// coefficients (the `Q` matrix fed to `transform`).
+    quad_phiw: Tensor,
+}
+
+impl Quadrature {
+    /// Builds the rule and basis matrices for polynomial order `k`.
+    pub fn new(k: usize) -> Self {
+        let (points, weights) = gauss_legendre(k);
+        let mut phi = vec![0.0; k];
+        let mut quad_phi = Tensor::zeros(Shape::matrix(k, k));
+        let mut quad_phiw = Tensor::zeros(Shape::matrix(k, k));
+        for (q, (&x, &w)) in points.iter().zip(&weights).enumerate() {
+            scaling_functions(k, x, &mut phi);
+            for i in 0..k {
+                *quad_phi.at_mut(&[q, i]) = phi[i];
+                *quad_phiw.at_mut(&[q, i]) = w * phi[i];
+            }
+        }
+        Quadrature {
+            k,
+            points,
+            weights,
+            quad_phi,
+            quad_phiw,
+        }
+    }
+
+    /// Polynomial order.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Quadrature nodes on `[0,1]`, ascending.
+    #[inline]
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// Quadrature weights (sum to 1).
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// `φ_i(x_q)` as a `(k, k)` matrix indexed `(q, i)`.
+    #[inline]
+    pub fn quad_phi(&self) -> &Tensor {
+        &self.quad_phi
+    }
+
+    /// `w_q φ_i(x_q)` as a `(k, k)` matrix indexed `(q, i)`.
+    #[inline]
+    pub fn quad_phiw(&self) -> &Tensor {
+        &self.quad_phiw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        for n in [1, 2, 5, 10, 20, 30] {
+            let (_, w) = gauss_legendre(n);
+            let s: f64 = w.iter().sum();
+            assert!((s - 1.0).abs() < 1e-13, "n={n}, sum={s}");
+        }
+    }
+
+    #[test]
+    fn integrates_monomials_exactly() {
+        // ∫_0^1 x^p dx = 1/(p+1), exact for p ≤ 2n−1.
+        let n = 7;
+        let (x, w) = gauss_legendre(n);
+        for p in 0..(2 * n) {
+            let got: f64 = x.iter().zip(&w).map(|(&xi, &wi)| wi * xi.powi(p as i32)).sum();
+            let want = 1.0 / (p as f64 + 1.0);
+            assert!((got - want).abs() < 1e-13, "p={p}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn points_ascending_in_unit_interval() {
+        let (x, _) = gauss_legendre(12);
+        for i in 1..x.len() {
+            assert!(x[i] > x[i - 1]);
+        }
+        assert!(x[0] > 0.0 && *x.last().unwrap() < 1.0);
+    }
+
+    #[test]
+    fn legendre_recurrence_known_values() {
+        let mut out = vec![0.0; 4];
+        legendre(4, 0.5, &mut out);
+        assert!((out[0] - 1.0).abs() < 1e-15);
+        assert!((out[1] - 0.5).abs() < 1e-15);
+        assert!((out[2] - (-0.125)).abs() < 1e-15); // (3x²−1)/2
+        assert!((out[3] - (-0.4375)).abs() < 1e-15); // (5x³−3x)/2
+    }
+
+    #[test]
+    fn scaling_functions_are_orthonormal() {
+        // ∫ φ_i φ_j = δ_ij, checked by k+1-point quadrature (degree 2k−2).
+        let k = 8;
+        let (x, w) = gauss_legendre(k + 1);
+        let mut gram = vec![vec![0.0; k]; k];
+        let mut phi = vec![0.0; k];
+        for (&xq, &wq) in x.iter().zip(&w) {
+            scaling_functions(k, xq, &mut phi);
+            for i in 0..k {
+                for j in 0..k {
+                    gram[i][j] += wq * phi[i] * phi[j];
+                }
+            }
+        }
+        for i in 0..k {
+            for j in 0..k {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (gram[i][j] - want).abs() < 1e-12,
+                    "gram[{i}][{j}] = {}",
+                    gram[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quadrature_matrices_reconstruct_polynomials() {
+        // Project f(x) = 3x² − x onto coefficients with quad_phiw, then
+        // evaluate back at nodes with quad_phi: must reproduce f(x_q).
+        let k = 6;
+        let q = Quadrature::new(k);
+        let fvals: Vec<f64> = q.points().iter().map(|&x| 3.0 * x * x - x).collect();
+        // s_i = Σ_q w_q φ_i(x_q) f(x_q)  (= transform of fvals by quad_phiw)
+        let mut s = vec![0.0; k];
+        for i in 0..k {
+            for (qi, &f) in fvals.iter().enumerate() {
+                s[i] += q.quad_phiw().at(&[qi, i]) * f;
+            }
+        }
+        // back: f(x_q) = Σ_i φ_i(x_q) s_i
+        for (qi, &f) in fvals.iter().enumerate() {
+            let got: f64 = (0..k).map(|i| q.quad_phi().at(&[qi, i]) * s[i]).sum();
+            assert!((got - f).abs() < 1e-12);
+        }
+    }
+}

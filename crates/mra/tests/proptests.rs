@@ -1,0 +1,163 @@
+//! Property-based tests of the MRA substrate's invariants.
+
+use madness_mra::key::Key;
+use madness_mra::ops::{compress, reconstruct, sum_down, truncate};
+use madness_mra::synth::{synthesize_tree, SynthTreeParams};
+use madness_mra::tree::TreeForm;
+use madness_mra::twoscale::{d_norm, extract_s_corner, gather_children, scatter_children, TwoScale};
+use madness_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+fn arb_key_3d() -> impl Strategy<Value = Key> {
+    (0u8..8, any::<u64>()).prop_map(|(level, bits)| {
+        let max = 1i64 << level;
+        let l: Vec<i64> = (0..3)
+            .map(|i| ((bits >> (i * 16)) as i64 & 0x7FFF) % max)
+            .collect();
+        Key::new(level, &l)
+    })
+}
+
+fn synth(target: usize, seed: u64, with_coeffs: bool) -> madness_mra::FunctionTree {
+    synthesize_tree(
+        2,
+        4,
+        &SynthTreeParams {
+            target_leaves: target,
+            centers: vec![vec![0.3, 0.6], vec![0.7, 0.2]],
+            width: 0.15,
+            level_decay: 0.55,
+            seed,
+            with_coeffs,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Child/parent round-trips for arbitrary keys.
+    #[test]
+    fn key_child_parent_roundtrip(key in arb_key_3d(), which in 0usize..8) {
+        let c = key.child(which);
+        prop_assert_eq!(c.parent(), Some(key));
+        prop_assert_eq!(c.index_in_parent(), which);
+        prop_assert!(key.is_ancestor_of(&c));
+    }
+
+    /// Neighbor displacement is invertible when both hops stay in domain.
+    #[test]
+    fn key_neighbor_inverts(key in arb_key_3d(), dx in -2i64..3, dy in -2i64..3, dz in -2i64..3) {
+        let disp = [dx, dy, dz];
+        if let Some(n) = key.neighbor(&disp) {
+            let back = [-dx, -dy, -dz];
+            prop_assert_eq!(n.neighbor(&back), Some(key));
+        }
+    }
+
+    /// The two-scale change of basis is an isometry on arbitrary blocks
+    /// and exactly invertible.
+    #[test]
+    fn twoscale_isometry(k in 2usize..7, seed in any::<u64>()) {
+        let ts = TwoScale::new(k);
+        let mut s = seed | 1;
+        let block = Tensor::from_fn(Shape::cube(2, 2 * k), |_| {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        });
+        let f = ts.filter(&block);
+        prop_assert!((f.normf() - block.normf()).abs() < 1e-10 * (1.0 + block.normf()));
+        let rt = ts.unfilter(&f);
+        prop_assert!(rt.distance(&block) < 1e-10 * (1.0 + block.normf()));
+        // Pythagoras: ‖block‖² = ‖s‖² + ‖d‖².
+        let sn = extract_s_corner(k, &f).normf();
+        let dn = d_norm(k, &f);
+        let total = block.normf();
+        prop_assert!((sn * sn + dn * dn - total * total).abs() < 1e-8 * (1.0 + total * total));
+    }
+
+    /// gather/scatter of child blocks is a bijection.
+    #[test]
+    fn gather_scatter_bijection(k in 1usize..5, seed in any::<u64>()) {
+        let d = 2;
+        let mut s = seed | 1;
+        let kids: Vec<Tensor> = (0..4).map(|_| {
+            Tensor::from_fn(Shape::cube(d, k), |_| {
+                s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+        }).collect();
+        let refs: Vec<Option<&Tensor>> = kids.iter().map(Some).collect();
+        let block = gather_children(k, d, &refs);
+        let back = scatter_children(k, &block);
+        for (a, b) in kids.iter().zip(&back) {
+            prop_assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    /// Compress preserves the norm (Parseval) and reconstruct restores
+    /// every leaf, on randomly shaped synthetic trees.
+    #[test]
+    fn compress_reconstruct_roundtrip(target in 8usize..120, seed in any::<u64>()) {
+        let tree = synth(target, seed, true);
+        let norm0 = tree.norm();
+        let mut t = tree.clone();
+        compress(&mut t);
+        prop_assert_eq!(t.form(), TreeForm::Compressed);
+        prop_assert!((t.norm_all_coeffs() - norm0).abs() < 1e-9 * (1.0 + norm0));
+        reconstruct(&mut t);
+        for (key, c) in tree.leaves() {
+            let c2 = t.get(key).unwrap().coeffs.as_ref().unwrap();
+            prop_assert!(c.distance(c2) < 1e-9 * (1.0 + c.normf()));
+        }
+    }
+
+    /// Truncate removes at most what its tolerance allows: the norm of
+    /// the discarded coefficients is bounded by tol per removed block.
+    #[test]
+    fn truncate_error_bounded(target in 8usize..100, seed in any::<u64>(), tol_exp in 1i32..6) {
+        let tol = 10f64.powi(-tol_exp);
+        let tree = synth(target, seed, true);
+        let norm0 = tree.norm();
+        let mut t = tree.clone();
+        compress(&mut t);
+        let removed_blocks = truncate(&mut t, tol);
+        reconstruct(&mut t);
+        let norm1 = t.norm();
+        // ‖f − f̃‖ ≤ tol · √(number of removed wavelet blocks).
+        let bound = tol * ((removed_blocks.max(1)) as f64).sqrt();
+        prop_assert!(
+            (norm0 - norm1).abs() <= bound + 1e-9,
+            "norm drift {} vs bound {}", (norm0 - norm1).abs(), bound
+        );
+        t.check_invariants().unwrap();
+    }
+
+    /// sum_down never changes the represented function's norm when the
+    /// injected mass is zero, for any tree shape.
+    #[test]
+    fn sum_down_preserves_norm(target in 8usize..80, seed in any::<u64>()) {
+        let mut tree = synth(target, seed, true);
+        let norm0 = tree.norm();
+        // Interior zero contribution at the root.
+        tree.accumulate(Key::root(2), 1.0, &Tensor::zeros(Shape::cube(2, 4)));
+        sum_down(&mut tree);
+        prop_assert!((tree.norm() - norm0).abs() < 1e-9 * (1.0 + norm0));
+        for (_, node) in tree.iter() {
+            if !node.is_leaf() {
+                prop_assert!(node.coeffs.is_none());
+            }
+        }
+    }
+
+    /// Synthetic trees always satisfy the structural invariants and hit
+    /// their leaf target.
+    #[test]
+    fn synth_tree_structural(target in 1usize..200, seed in any::<u64>()) {
+        let tree = synth(target, seed, false);
+        tree.check_invariants().unwrap();
+        let leaves = tree.num_leaves();
+        prop_assert!(leaves >= target.min(4));
+        prop_assert!(leaves < target + 4); // within one 2^d refinement
+    }
+}

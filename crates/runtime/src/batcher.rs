@@ -1,0 +1,205 @@
+//! Asynchronous batching of compute tasks, by task *kind*.
+//!
+//! "The execution of the multiple compute tasks waiting for input data is
+//! delayed until a timer expires. At this point there are multiple
+//! batches of compute waiting to be executed (one batch per kind of
+//! compute task)." A kind combines the compute function's identity with
+//! "the result of a user-defined hash function applied to the input
+//! data" (paper §II-A, footnote 2).
+
+use madness_gpusim::SimTime;
+use std::collections::HashMap;
+
+/// The identity of a batch: which compute function, over which input
+/// class (e.g. tensor shape — batches must be homogeneous to share GPU
+/// buffers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskKind {
+    /// Stand-in for "the memory address of the compute function".
+    pub op: u64,
+    /// "User-defined hash function applied to the input data".
+    pub data_hash: u64,
+}
+
+/// Flush policy for the batcher.
+#[derive(Clone, Copy, Debug)]
+pub struct BatcherConfig {
+    /// Flush a kind as soon as it holds this many tasks (the paper's
+    /// experiments report results "for a computation batch of 60
+    /// independent tasks").
+    pub max_batch: usize,
+    /// Simulated flush period — the "timer" of §II-A. Tracked as
+    /// accumulated delay statistics; the simulators charge it when a
+    /// batch is flushed by the timer rather than by size.
+    pub timer: SimTime,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig {
+            max_batch: 60,
+            timer: SimTime::from_millis(1),
+        }
+    }
+}
+
+/// Accumulates compute tasks into per-kind batches.
+#[derive(Debug)]
+pub struct Batcher<T> {
+    config: BatcherConfig,
+    batches: HashMap<TaskKind, Vec<T>>,
+    pushed: u64,
+    flushed_by_size: u64,
+    flushed_by_timer: u64,
+}
+
+impl<T> Batcher<T> {
+    /// An empty batcher with the given policy.
+    ///
+    /// # Panics
+    /// Panics if `max_batch == 0`.
+    pub fn new(config: BatcherConfig) -> Self {
+        assert!(config.max_batch > 0, "batch size must be positive");
+        Batcher {
+            config,
+            batches: HashMap::new(),
+            pushed: 0,
+            flushed_by_size: 0,
+            flushed_by_timer: 0,
+        }
+    }
+
+    /// Adds a task; returns a full batch if this push reached the size
+    /// trigger for its kind.
+    pub fn push(&mut self, kind: TaskKind, task: T) -> Option<(TaskKind, Vec<T>)> {
+        self.pushed += 1;
+        let v = self.batches.entry(kind).or_default();
+        v.push(task);
+        if v.len() >= self.config.max_batch {
+            self.flushed_by_size += 1;
+            let batch = self.batches.remove(&kind).expect("just inserted");
+            Some((kind, batch))
+        } else {
+            None
+        }
+    }
+
+    /// Timer expiry: drains every pending batch (deterministic kind
+    /// order). "Batches of compute tasks will be executed one by one at
+    /// this point."
+    pub fn flush_all(&mut self) -> Vec<(TaskKind, Vec<T>)> {
+        let mut kinds: Vec<TaskKind> = self.batches.keys().copied().collect();
+        kinds.sort_unstable();
+        let mut out = Vec::with_capacity(kinds.len());
+        for kind in kinds {
+            if let Some(batch) = self.batches.remove(&kind) {
+                if !batch.is_empty() {
+                    self.flushed_by_timer += 1;
+                    out.push((kind, batch));
+                }
+            }
+        }
+        out
+    }
+
+    /// Tasks currently waiting across all kinds.
+    pub fn pending(&self) -> usize {
+        self.batches.values().map(Vec::len).sum()
+    }
+
+    /// Distinct kinds currently pending.
+    pub fn pending_kinds(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// The flush policy.
+    pub fn config(&self) -> BatcherConfig {
+        self.config
+    }
+
+    /// `(pushed, flushed_by_size, flushed_by_timer)`.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.pushed, self.flushed_by_size, self.flushed_by_timer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kind(op: u64) -> TaskKind {
+        TaskKind { op, data_hash: 0 }
+    }
+
+    #[test]
+    fn size_trigger_emits_full_batch() {
+        let mut b = Batcher::new(BatcherConfig {
+            max_batch: 3,
+            timer: SimTime::from_millis(1),
+        });
+        assert!(b.push(kind(1), "a").is_none());
+        assert!(b.push(kind(1), "b").is_none());
+        let (k, batch) = b.push(kind(1), "c").expect("should flush");
+        assert_eq!(k, kind(1));
+        assert_eq!(batch, vec!["a", "b", "c"]);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn kinds_batch_independently() {
+        let mut b = Batcher::new(BatcherConfig {
+            max_batch: 2,
+            timer: SimTime::ZERO,
+        });
+        assert!(b.push(kind(1), 1).is_none());
+        assert!(b.push(kind(2), 2).is_none());
+        assert!(b.push(kind(3), 3).is_none());
+        assert_eq!(b.pending_kinds(), 3);
+        let full = b.push(kind(2), 4).expect("kind 2 full");
+        assert_eq!(full.1, vec![2, 4]);
+        assert_eq!(b.pending(), 2);
+    }
+
+    #[test]
+    fn data_hash_separates_batches() {
+        // Same op over differently-shaped inputs must not mix.
+        let mut b = Batcher::new(BatcherConfig {
+            max_batch: 10,
+            timer: SimTime::ZERO,
+        });
+        b.push(TaskKind { op: 1, data_hash: 10 }, "k10");
+        b.push(TaskKind { op: 1, data_hash: 20 }, "k20");
+        assert_eq!(b.pending_kinds(), 2);
+    }
+
+    #[test]
+    fn timer_flush_drains_everything_in_kind_order() {
+        let mut b = Batcher::new(BatcherConfig {
+            max_batch: 100,
+            timer: SimTime::from_millis(5),
+        });
+        b.push(kind(2), 20);
+        b.push(kind(1), 10);
+        b.push(kind(1), 11);
+        let drained = b.flush_all();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, kind(1)); // deterministic order
+        assert_eq!(drained[0].1, vec![10, 11]);
+        assert_eq!(drained[1].1, vec![20]);
+        assert_eq!(b.pending(), 0);
+        assert!(b.flush_all().is_empty());
+    }
+
+    #[test]
+    fn stats_track_flush_causes() {
+        let mut b = Batcher::new(BatcherConfig {
+            max_batch: 2,
+            timer: SimTime::ZERO,
+        });
+        b.push(kind(1), 0);
+        b.push(kind(1), 1); // size flush
+        b.push(kind(2), 2);
+        b.flush_all(); // timer flush
+        assert_eq!(b.stats(), (3, 1, 1));
+    }
+}

@@ -1,0 +1,145 @@
+//! The dispatcher's CPU/GPU work split.
+//!
+//! "Consider that a CPU-only run takes time `m` and a GPU-only run takes
+//! time `n`. The minimal computation time can be achieved by an optimal
+//! CPU-GPU computation overlap … minimizing `max(mk, n(1−k))` …
+//! The optimal CPU-GPU work overlap is achieved when `mk = n(1−k)`, so
+//! `k = n/(m+n)`. The minimal runtime is thus `m·n/(m+n)`." (paper §II-A)
+
+/// Optimal fraction `k* = n/(m+n)` of tasks to send to the **CPU**, given
+/// CPU-only time `m` and GPU-only time `n` for the whole batch.
+///
+/// Degenerate inputs: if both are zero the split is irrelevant (returns
+/// 0.5); a zero `m` sends everything to the CPU (it is infinitely fast),
+/// and symmetrically for `n`.
+///
+/// # Panics
+/// Panics on negative or non-finite inputs.
+pub fn optimal_split(m: f64, n: f64) -> f64 {
+    assert!(m >= 0.0 && n >= 0.0, "times must be non-negative");
+    assert!(m.is_finite() && n.is_finite(), "times must be finite");
+    if m + n == 0.0 {
+        return 0.5;
+    }
+    n / (m + n)
+}
+
+/// The paper's ideal hybrid runtime `m·n/(m+n)` (assumes a 100 %
+/// compute-intensive workload — the tables' "Optimal CPU-GPU Overlap"
+/// column, which real runs sometimes beat and sometimes miss).
+pub fn hybrid_optimal_time(m: f64, n: f64) -> f64 {
+    assert!(m >= 0.0 && n >= 0.0, "times must be non-negative");
+    if m + n == 0.0 {
+        return 0.0;
+    }
+    m * n / (m + n)
+}
+
+/// A concrete split of a task batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitPlan {
+    /// Tasks the CPU threads take.
+    pub cpu_tasks: usize,
+    /// Tasks the GPU takes.
+    pub gpu_tasks: usize,
+}
+
+impl SplitPlan {
+    /// Splits `n_tasks` by the optimal ratio for batch times `m` (CPU)
+    /// and `n` (GPU), rounding the CPU share to the nearest task.
+    pub fn for_times(n_tasks: usize, m: f64, n: f64) -> SplitPlan {
+        let k = optimal_split(m, n);
+        let cpu = ((n_tasks as f64) * k).round() as usize;
+        let cpu = cpu.min(n_tasks);
+        SplitPlan {
+            cpu_tasks: cpu,
+            gpu_tasks: n_tasks - cpu,
+        }
+    }
+
+    /// Everything on the CPU.
+    pub fn all_cpu(n_tasks: usize) -> SplitPlan {
+        SplitPlan {
+            cpu_tasks: n_tasks,
+            gpu_tasks: 0,
+        }
+    }
+
+    /// Everything on the GPU.
+    pub fn all_gpu(n_tasks: usize) -> SplitPlan {
+        SplitPlan {
+            cpu_tasks: 0,
+            gpu_tasks: n_tasks,
+        }
+    }
+
+    /// Total tasks covered by the plan.
+    pub fn total(&self) -> usize {
+        self.cpu_tasks + self.gpu_tasks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_times_split_in_half() {
+        assert_eq!(optimal_split(10.0, 10.0), 0.5);
+        assert_eq!(hybrid_optimal_time(10.0, 10.0), 5.0);
+    }
+
+    #[test]
+    fn faster_gpu_gets_more_work() {
+        // GPU 3× faster (n = m/3) ⇒ CPU keeps k = (m/3)/(4m/3) = 1/4.
+        let k = optimal_split(12.0, 4.0);
+        assert!((k - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_time_beats_both_sides() {
+        let (m, n) = (24.3, 24.3); // Table I: 10 CPU threads / 5 streams
+        let opt = hybrid_optimal_time(m, n);
+        assert!(opt < m && opt < n);
+        assert!((opt - 12.15).abs() < 1e-9); // paper prints 12.1
+    }
+
+    #[test]
+    fn table5_optimal_column_reproduced() {
+        // Table V, 6 nodes: CPU-only 201 s, GPU-only 35 s ⇒ optimal ≈ 30 s.
+        let opt = hybrid_optimal_time(201.0, 35.0);
+        assert!((opt - 29.8).abs() < 0.2, "{opt}");
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(optimal_split(0.0, 0.0), 0.5);
+        assert_eq!(optimal_split(0.0, 5.0), 1.0); // CPU free ⇒ all CPU
+        assert_eq!(optimal_split(5.0, 0.0), 0.0); // GPU free ⇒ all GPU
+        assert_eq!(hybrid_optimal_time(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn split_plan_rounds_and_conserves() {
+        let p = SplitPlan::for_times(60, 24.3, 24.3);
+        assert_eq!(p.total(), 60);
+        assert_eq!(p.cpu_tasks, 30);
+        let p2 = SplitPlan::for_times(61, 1.0, 3.0); // k = 0.75 → 46 CPU
+        assert_eq!(p2.total(), 61);
+        assert_eq!(p2.cpu_tasks, 46);
+    }
+
+    #[test]
+    fn split_extremes() {
+        assert_eq!(SplitPlan::all_cpu(7), SplitPlan { cpu_tasks: 7, gpu_tasks: 0 });
+        assert_eq!(SplitPlan::all_gpu(7), SplitPlan { cpu_tasks: 0, gpu_tasks: 7 });
+        let p = SplitPlan::for_times(10, 5.0, 0.0);
+        assert_eq!(p.cpu_tasks, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_rejected() {
+        let _ = optimal_split(-1.0, 1.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! The developer-facing contract of the batching extensions.
+//!
+//! "The developer can split a task of interest into three sub-tasks:
+//! *preprocess*, *compute* and *postprocess*. The MADNESS Library
+//! extensions will ensure that the preprocess sub-task will be executed
+//! by a CPU thread … output data of preprocess is batched together with
+//! other output data of the same kind, to serve as input data for
+//! compute tasks." (paper §II-A)
+//!
+//! The concrete Apply pipeline (with its GPU path) is assembled in
+//! `madness-core`; the generic driver here exercises the CPU side of the
+//! contract and is what unit tests and small examples use.
+
+use crate::batcher::{Batcher, BatcherConfig, TaskKind};
+use crossbeam::channel::unbounded;
+
+/// A compute-intensive operation that has opted into asynchronous
+/// batching.
+pub trait BatchedOp: Sync {
+    /// What `preprocess` hands to `compute`.
+    type Input: Send;
+    /// What `compute` hands to `postprocess`.
+    type Output: Send;
+
+    /// The batch identity of an input (compute-function id + user data
+    /// hash — inputs of one kind must be batch-compatible).
+    fn kind(&self, input: &Self::Input) -> TaskKind;
+
+    /// The compute sub-task (CPU version; every batched op must have
+    /// one — the GPU version lives with the device executor).
+    fn compute(&self, input: Self::Input) -> Self::Output;
+}
+
+/// Runs `inputs` through batching and parallel CPU compute, preserving
+/// input order in the returned outputs.
+///
+/// This demonstrates the control flow of Fig. 3's CPU side: inputs are
+/// accumulated per kind, full batches dispatch immediately, the timer
+/// flush drains the rest, and each batch executes on its own scoped
+/// thread (one batch = one unit of scheduled work, mirroring how one
+/// GPU stream runs one kernel; [`crate::pool::WorkerPool`] serves the
+/// long-lived pre/postprocess threads of the full pipeline instead).
+pub fn run_batched<O>(
+    op: &O,
+    inputs: Vec<O::Input>,
+    config: BatcherConfig,
+) -> Vec<O::Output>
+where
+    O: BatchedOp,
+    O::Output: 'static,
+    O::Input: 'static,
+{
+    let n = inputs.len();
+    let mut batcher: Batcher<(usize, O::Input)> = Batcher::new(config);
+    let (tx, rx) = unbounded::<(usize, O::Output)>();
+
+    std::thread::scope(|scope| {
+        let dispatch = |batch: Vec<(usize, O::Input)>| {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                // One batch = one unit of scheduled work; its tasks run
+                // here sequentially (the pool parallelizes across
+                // batches, as the GPU parallelizes across streams).
+                for (idx, input) in batch {
+                    let out = op.compute(input);
+                    tx.send((idx, out)).expect("collector alive");
+                }
+            });
+        };
+        for (idx, input) in inputs.into_iter().enumerate() {
+            let kind = op.kind(&input);
+            if let Some((_, full)) = batcher.push(kind, (idx, input)) {
+                dispatch(full);
+            }
+        }
+        for (_, rest) in batcher.flush_all() {
+            dispatch(rest);
+        }
+        drop(tx);
+    });
+
+    let mut slots: Vec<Option<O::Output>> = (0..n).map(|_| None).collect();
+    for (idx, out) in rx.iter() {
+        slots[idx] = Some(out);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every input produced an output"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SquareOp;
+
+    impl BatchedOp for SquareOp {
+        type Input = (u64, i64);
+        type Output = i64;
+
+        fn kind(&self, input: &Self::Input) -> TaskKind {
+            TaskKind {
+                op: 1,
+                data_hash: input.0,
+            }
+        }
+
+        fn compute(&self, input: Self::Input) -> i64 {
+            input.1 * input.1
+        }
+    }
+
+    #[test]
+    fn outputs_preserve_input_order() {
+        let inputs: Vec<(u64, i64)> = (0..500).map(|i| (i % 7, i as i64)).collect();
+        let out = run_batched(
+            &SquareOp,
+            inputs,
+            BatcherConfig {
+                max_batch: 16,
+                ..BatcherConfig::default()
+            },
+        );
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(o, (i as i64) * (i as i64));
+        }
+    }
+
+    #[test]
+    fn single_kind_single_batch() {
+        let inputs: Vec<(u64, i64)> = (0..5).map(|i| (0, i)).collect();
+        let out = run_batched(&SquareOp, inputs, BatcherConfig::default());
+        assert_eq!(out, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out = run_batched(&SquareOp, Vec::new(), BatcherConfig::default());
+        assert!(out.is_empty());
+    }
+}

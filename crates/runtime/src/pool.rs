@@ -1,0 +1,220 @@
+//! A small dedicated worker-thread pool.
+//!
+//! MADNESS drives everything through a pool of CPU threads: compute
+//! workers, data-access threads for the GPU path, and the dispatcher.
+//! This pool is deliberately simple — unbounded MPMC channel feeding `n`
+//! workers, with an idle barrier — because the *simulated-time* behaviour
+//! is what the experiments measure; the pool exists so Full-fidelity runs
+//! genuinely execute concurrently (and so the test suite exercises real
+//! parallel accumulation).
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    pending: AtomicUsize,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+/// A fixed-size pool of named worker threads.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl WorkerPool {
+    /// Spawns `n` workers.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "pool needs at least one worker");
+        let (tx, rx) = unbounded::<Job>();
+        let shared = Arc::new(Shared {
+            pending: AtomicUsize::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        });
+        let workers = (0..n)
+            .map(|i| {
+                let rx = rx.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("madness-worker-{i}"))
+                    .spawn(move || {
+                        for job in rx.iter() {
+                            // Decrement-and-notify even if the job panics,
+                            // or wait_idle would deadlock forever.
+                            struct Done<'a>(&'a Shared);
+                            impl Drop for Done<'_> {
+                                fn drop(&mut self) {
+                                    if self.0.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                        let _g = self.0.idle_lock.lock();
+                                        self.0.idle_cv.notify_all();
+                                    }
+                                }
+                            }
+                            let _done = Done(&shared);
+                            let _ = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(job),
+                            );
+                        }
+                    })
+                    .expect("failed to spawn worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+            shared,
+        }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Always false (a pool has ≥ 1 worker); for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Enqueues a job.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        self.tx
+            .as_ref()
+            .expect("pool already shut down")
+            .send(Box::new(job))
+            .expect("workers gone");
+    }
+
+    /// Blocks until every submitted job has finished.
+    pub fn wait_idle(&self) {
+        let mut guard = self.shared.idle_lock.lock();
+        while self.shared.pending.load(Ordering::Acquire) != 0 {
+            self.shared.idle_cv.wait(&mut guard);
+        }
+    }
+
+    /// Jobs submitted but not yet finished.
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.tx.take(); // close the channel; workers drain and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..1000 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn wait_idle_on_fresh_pool_returns_immediately() {
+        let pool = WorkerPool::new(2);
+        pool.wait_idle();
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn reusable_across_waves() {
+        let pool = WorkerPool::new(3);
+        let counter = Arc::new(AtomicU64::new(0));
+        for wave in 1..=3u64 {
+            for _ in 0..50 {
+                let c = Arc::clone(&counter);
+                pool.submit(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait_idle();
+            assert_eq!(counter.load(Ordering::Relaxed), wave * 50);
+        }
+    }
+
+    #[test]
+    fn jobs_actually_run_in_parallel() {
+        // Two jobs that each wait for the other: deadlocks unless ≥ 2
+        // workers serve them simultaneously.
+        let pool = WorkerPool::new(2);
+        let a = Arc::new(AtomicU64::new(0));
+        let (a1, a2) = (Arc::clone(&a), Arc::clone(&a));
+        pool.submit(move || {
+            a1.fetch_add(1, Ordering::SeqCst);
+            while a1.load(Ordering::SeqCst) < 2 {
+                std::hint::spin_loop();
+            }
+        });
+        pool.submit(move || {
+            a2.fetch_add(1, Ordering::SeqCst);
+            while a2.load(Ordering::SeqCst) < 2 {
+                std::hint::spin_loop();
+            }
+        });
+        pool.wait_idle();
+        assert_eq!(a.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn panicking_job_does_not_deadlock_wait_idle() {
+        // Regression: pending used to be decremented only on normal
+        // return, so one panicking job hung wait_idle forever.
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        pool.submit(|| panic!("job blew up"));
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle(); // must return despite the panic
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // must not hang, and must finish queued work
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+}

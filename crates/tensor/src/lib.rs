@@ -1,0 +1,54 @@
+//! # madness-tensor
+//!
+//! Dense small-tensor kernels for the madness-rs workspace.
+//!
+//! MADNESS (Multiresolution ADaptive Numerical Environment for Scientific
+//! Simulation) represents functions as trees of *small* `d`-dimensional
+//! coefficient tensors with `k` values per dimension (`k` typically 10–28,
+//! `d` = 3 or 4). Every heavy operator in the framework reduces to many
+//! multiplications of a `(k^{d-1}, k)` matrix (a tensor with one dimension
+//! "rotated" to the end) by a small `(k, k)` operator matrix — the kernel
+//! the CLUSTER 2012 paper calls `mtxm`/`cu_mtxm`.
+//!
+//! This crate provides:
+//!
+//! * [`Tensor`] — an owned, contiguous, row-major `f64` tensor of up to
+//!   [`MAX_DIMS`] dimensions;
+//! * [`mtxmq`] — the transpose-times-matrix kernel
+//!   `C(i,j) += Σ_k A(k,i)·B(k,j)` with cache-friendly loop order, plus a
+//!   rank-reduced variant ([`mtxmq_rr`]) implementing the paper's
+//!   *rank reduction* optimization (Fig. 4);
+//! * [`transform`] — applies one `(k,k)` matrix per dimension by cycling
+//!   `mtxmq` `d` times (Formula 1 of the paper for a single rank-`μ` term);
+//! * FLOP accounting ([`flops`]) used by the simulators' cost models.
+//!
+//! All arithmetic is deterministic `f64`; the simulated-GPU crate executes
+//! these same kernels so CPU and "GPU" results are directly comparable.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Index loops over multiple parallel arrays are the clearest idiom for
+// the numeric kernels here; the iterator rewrites clippy suggests hurt
+// readability without changing codegen.
+#![allow(clippy::needless_range_loop)]
+
+pub mod flops;
+pub mod mtxmq;
+pub mod shape;
+pub mod tensor;
+pub mod transform;
+
+pub use flops::{mtxmq_flops, transform_flops};
+pub use mtxmq::{mtxmq, mtxmq_acc, mtxmq_rr, mtxmq_rr_acc};
+pub use shape::Shape;
+pub use tensor::Tensor;
+pub use transform::{
+    general_transform, transform, transform_accumulate, transform_dim, transform_rr,
+    transform_rr_accumulate, TransformScratch,
+};
+
+/// Maximum tensor dimensionality supported by [`Shape`].
+///
+/// The paper only needs `d ∈ {3, 4}`; 6 leaves headroom for the
+/// separated-rank bookkeeping without heap-allocating shapes.
+pub const MAX_DIMS: usize = 6;

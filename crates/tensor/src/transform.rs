@@ -1,0 +1,519 @@
+//! Multidimensional transforms built from cycling [`mtxmq`] passes.
+//!
+//! One rank-`μ` term of the paper's Formula 1,
+//!
+//! ```text
+//! r_{i1…id} = Σ_{j1…jd} s_{j1…jd} · h^{(μ,1)}_{j1 i1} · … · h^{(μ,d)}_{jd id},
+//! ```
+//!
+//! factorizes into `d` successive matrix products. Viewing `s` as a
+//! `(k, k^{d-1})` row-major matrix and multiplying by the `(k, k)` block
+//! `h^{(μ,1)}` with [`mtxmq`] contracts dimension 1 and *rotates* it to the
+//! end; `d` such passes contract every dimension and restore the original
+//! axis order. Each pass is exactly one of the paper's
+//! `(k^{d-1}, k) × (k, k)` multiplications.
+
+use crate::mtxmq::{mtxmq, mtxmq_acc, mtxmq_rr};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Reusable scratch buffers for [`transform`]-family calls.
+///
+/// Apply evaluates hundreds of transforms per tree node; reusing two
+/// ping-pong buffers keeps the hot loop allocation-free (a requirement the
+/// perf guides are emphatic about).
+#[derive(Default, Debug)]
+pub struct TransformScratch {
+    ping: Vec<f64>,
+    pong: Vec<f64>,
+}
+
+impl TransformScratch {
+    /// Creates empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-sizes both buffers for tensors of `len` elements.
+    pub fn with_capacity(len: usize) -> Self {
+        TransformScratch {
+            ping: Vec::with_capacity(len),
+            pong: Vec::with_capacity(len),
+        }
+    }
+
+    fn resize(&mut self, len: usize) {
+        self.ping.resize(len, 0.0);
+        self.pong.resize(len, 0.0);
+    }
+}
+
+fn check_operands(t: &Tensor, hs: &[&Tensor]) -> usize {
+    let d = t.ndim();
+    assert_eq!(
+        hs.len(),
+        d,
+        "need one operator matrix per dimension ({d}), got {}",
+        hs.len()
+    );
+    for (i, h) in hs.iter().enumerate() {
+        assert_eq!(h.ndim(), 2, "operator {i} must be a matrix");
+        assert_eq!(
+            h.shape().dim(0),
+            t.shape().dim(i),
+            "operator {i} rows must match tensor dim {i}"
+        );
+    }
+    d
+}
+
+/// Transforms every dimension of `t` by the corresponding matrix in `hs`
+/// (`r_{i…} = Σ t_{j…} Π h^{(dim)}_{j i}`), returning a fresh tensor.
+///
+/// Operators may be rectangular `(n_dim, m_dim)`; the result dimension
+/// `dim` then has extent `m_dim`.
+///
+/// # Panics
+/// Panics if `hs.len() != t.ndim()` or operator rows mismatch extents.
+pub fn general_transform(t: &Tensor, hs: &[&Tensor]) -> Tensor {
+    let mut scratch = TransformScratch::new();
+    let mut out_dims = [0usize; crate::MAX_DIMS];
+    let d = check_operands(t, hs);
+    for (i, h) in hs.iter().enumerate() {
+        out_dims[i] = h.shape().dim(1);
+    }
+    let out_shape = Shape::new(&out_dims[..d]);
+    let mut out = Tensor::zeros(out_shape);
+    transform_into(t, hs, &mut scratch, out.as_mut_slice(), false);
+    out
+}
+
+/// Square-operator transform returning a fresh tensor; the common Apply
+/// case where every `h` is `(k, k)`.
+///
+/// # Panics
+/// Same contract as [`general_transform`].
+pub fn transform(t: &Tensor, hs: &[&Tensor]) -> Tensor {
+    general_transform(t, hs)
+}
+
+/// `out += transform(t, hs)` without allocating the intermediate result.
+///
+/// This is Algorithm 5's inner statement: each rank-`μ` term accumulates
+/// into the result tensor `r`.
+///
+/// # Panics
+/// Panics if `out` does not match the transform's output shape, or on the
+/// operand mismatches of [`general_transform`].
+pub fn transform_accumulate(
+    t: &Tensor,
+    hs: &[&Tensor],
+    scratch: &mut TransformScratch,
+    out: &mut Tensor,
+) {
+    let d = check_operands(t, hs);
+    let mut out_dims = [0usize; crate::MAX_DIMS];
+    for (i, h) in hs.iter().enumerate() {
+        out_dims[i] = h.shape().dim(1);
+    }
+    assert_eq!(
+        out.shape(),
+        Shape::new(&out_dims[..d]),
+        "accumulate target shape mismatch"
+    );
+    transform_into(t, hs, scratch, out.as_mut_slice(), true);
+}
+
+/// Shared d-pass pipeline. If `accumulate`, the final pass adds into `out`;
+/// otherwise it overwrites it.
+fn transform_into(
+    t: &Tensor,
+    hs: &[&Tensor],
+    scratch: &mut TransformScratch,
+    out: &mut [f64],
+    accumulate: bool,
+) {
+    let d = t.ndim();
+    // Upper bound for intermediate sizes: after pass p the tensor has dims
+    // (n_{p+1}, …, n_d, m_1, …, m_p).
+    let max_len = {
+        let mut len = t.len();
+        let mut m = len;
+        for (i, h) in hs.iter().enumerate() {
+            len = len / t.shape().dim(i) * h.shape().dim(1);
+            m = m.max(len);
+        }
+        m
+    };
+    scratch.resize(max_len);
+
+    // cur tracks which buffer holds the current intermediate; `dims` its
+    // (rotated) shape.
+    let mut dims: Vec<usize> = t.shape().dims().to_vec();
+    let mut src_is_ping = true;
+    scratch.ping[..t.len()].copy_from_slice(t.as_slice());
+    let mut cur_len = t.len();
+
+    for (pass, h) in hs.iter().enumerate() {
+        let dimk = dims[0]; // contraction extent = current leading dim
+        let dimi = cur_len / dimk; // fused remaining dims
+        let dimj = h.shape().dim(1);
+        let next_len = dimi * dimj;
+        let last = pass + 1 == d;
+
+        let (src, dst): (&[f64], &mut [f64]) = if src_is_ping {
+            (&scratch.ping[..cur_len], &mut scratch.pong[..next_len])
+        } else {
+            (&scratch.pong[..cur_len], &mut scratch.ping[..next_len])
+        };
+
+        if last {
+            debug_assert_eq!(out.len(), next_len, "output buffer length mismatch");
+            if accumulate {
+                mtxmq_acc(dimi, dimj, dimk, src, h.as_slice(), out);
+            } else {
+                mtxmq(dimi, dimj, dimk, src, h.as_slice(), out);
+            }
+        } else {
+            mtxmq(dimi, dimj, dimk, src, h.as_slice(), dst);
+        }
+
+        // Rotate: leading dim contracted away, output dim appended.
+        dims.remove(0);
+        dims.push(dimj);
+        cur_len = next_len;
+        src_is_ping = !src_is_ping;
+    }
+}
+
+/// Contracts dimension 0 of `t` with `h` and rotates it to the end:
+/// `r_{j2…jd,i} = Σ_{j1} t_{j1 j2…jd} h_{j1 i}`.
+///
+/// Exposed for callers (e.g. the GPU-kernel simulators) that pipeline the
+/// passes themselves.
+///
+/// # Panics
+/// Panics if `h` is not a matrix with rows matching `t`'s dim 0.
+pub fn transform_dim(t: &Tensor, h: &Tensor) -> Tensor {
+    assert_eq!(h.ndim(), 2, "operator must be a matrix");
+    let dimk = t.shape().dim(0);
+    assert_eq!(h.shape().dim(0), dimk, "operator rows mismatch dim 0");
+    let dimi = t.len() / dimk;
+    let dimj = h.shape().dim(1);
+    let mut out = vec![0.0; dimi * dimj];
+    mtxmq(dimi, dimj, dimk, t.as_slice(), h.as_slice(), &mut out);
+    let mut dims: Vec<usize> = t.shape().dims()[1..].to_vec();
+    dims.push(dimj);
+    Tensor::from_vec(Shape::new(&dims), out)
+}
+
+/// Rank-reduced transform (paper §II-D, Fig. 4): pass `p` contracts only
+/// the first `krs[p]` entries of the corresponding dimension, skipping the
+/// negligible rows of `s` and `h`. Output shape is unchanged.
+///
+/// # Panics
+/// Panics if `krs.len() != t.ndim()`, any `krs[p]` exceeds the dimension
+/// extent, or on the operand mismatches of [`general_transform`].
+pub fn transform_rr(t: &Tensor, hs: &[&Tensor], krs: &[usize]) -> Tensor {
+    let d = check_operands(t, hs);
+    let mut out_dims = [0usize; crate::MAX_DIMS];
+    for (i, h) in hs.iter().enumerate() {
+        out_dims[i] = h.shape().dim(1);
+    }
+    let mut out = Tensor::zeros(Shape::new(&out_dims[..d]));
+    let mut scratch = TransformScratch::new();
+    transform_rr_accumulate(t, hs, krs, &mut scratch, &mut out);
+    out
+}
+
+/// `out += transform_rr(t, hs, krs)` without allocating: the rank-reduced
+/// counterpart of [`transform_accumulate`], used by the CPU compute
+/// sub-task's hot loop (one call per separated-rank term).
+///
+/// # Panics
+/// Same contract as [`transform_rr`], plus `out` must match the output
+/// shape.
+pub fn transform_rr_accumulate(
+    t: &Tensor,
+    hs: &[&Tensor],
+    krs: &[usize],
+    scratch: &mut TransformScratch,
+    out: &mut Tensor,
+) {
+    let d = check_operands(t, hs);
+    assert_eq!(krs.len(), d, "need one effective rank per dimension");
+    let mut out_dims = [0usize; crate::MAX_DIMS];
+    for (i, h) in hs.iter().enumerate() {
+        out_dims[i] = h.shape().dim(1);
+    }
+    assert_eq!(
+        out.shape(),
+        Shape::new(&out_dims[..d]),
+        "accumulate target shape mismatch"
+    );
+    // Intermediates can grow across passes (rectangular operators), so
+    // size the scratch from the *cumulative* per-pass lengths — the same
+    // computation transform_into performs.
+    let max_len = {
+        let mut len = t.len();
+        let mut m = len;
+        for (i, h) in hs.iter().enumerate() {
+            len = len / t.shape().dim(i) * h.shape().dim(1);
+            m = m.max(len);
+        }
+        m
+    };
+    scratch.resize(max_len);
+
+    let mut dims: Vec<usize> = t.shape().dims().to_vec();
+    let mut cur_len = t.len();
+    let mut src_is_ping = true;
+    scratch.ping[..cur_len].copy_from_slice(t.as_slice());
+
+    for (pass, h) in hs.iter().enumerate() {
+        let dimk = dims[0];
+        let kr = krs[pass].min(dimk);
+        let dimi = cur_len / dimk;
+        let dimj = h.shape().dim(1);
+        let next_len = dimi * dimj;
+        let last = pass + 1 == d;
+        let (src, dst): (&[f64], &mut [f64]) = if src_is_ping {
+            (&scratch.ping[..cur_len], &mut scratch.pong[..next_len])
+        } else {
+            (&scratch.pong[..cur_len], &mut scratch.ping[..next_len])
+        };
+        if last {
+            // Accumulate the reduced contraction into `out`: mtxmq_rr
+            // overwrites, so run the skip-tail contraction additively.
+            crate::mtxmq::mtxmq_rr_acc(dimi, dimj, dimk, kr, src, h.as_slice(), out.as_mut_slice());
+        } else {
+            mtxmq_rr(dimi, dimj, dimk, kr, src, h.as_slice(), dst);
+        }
+        dims.remove(0);
+        dims.push(dimj);
+        cur_len = next_len;
+        src_is_ping = !src_is_ping;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct O(k^{2d}) evaluation of Formula 1 for one μ.
+    fn reference_transform(t: &Tensor, hs: &[&Tensor]) -> Tensor {
+        let d = t.ndim();
+        let mut out_dims = vec![0usize; d];
+        for (i, h) in hs.iter().enumerate() {
+            out_dims[i] = h.shape().dim(1);
+        }
+        let out_shape = Shape::new(&out_dims);
+        Tensor::from_fn(out_shape, |oi| {
+            // Sum over all input multi-indices.
+            let mut total = 0.0;
+            let mut ji = vec![0usize; d];
+            let n = t.len();
+            for _ in 0..n {
+                let mut term = t.at(&ji);
+                for (dim, h) in hs.iter().enumerate() {
+                    term *= h.at(&[ji[dim], oi[dim]]);
+                }
+                total += term;
+                for i in (0..d).rev() {
+                    ji[i] += 1;
+                    if ji[i] < t.shape().dim(i) {
+                        break;
+                    }
+                    ji[i] = 0;
+                }
+            }
+            total
+        })
+    }
+
+    fn det_tensor(shape: Shape, seed: u64) -> Tensor {
+        // Small deterministic pseudo-random fill (no rand dep needed here).
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Tensor::from_fn(shape, |_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+    }
+
+    #[test]
+    fn transform_matches_reference_3d() {
+        let k = 5;
+        let t = det_tensor(Shape::cube(3, k), 7);
+        let h1 = det_tensor(Shape::matrix(k, k), 11);
+        let h2 = det_tensor(Shape::matrix(k, k), 13);
+        let h3 = det_tensor(Shape::matrix(k, k), 17);
+        let got = transform(&t, &[&h1, &h2, &h3]);
+        let want = reference_transform(&t, &[&h1, &h2, &h3]);
+        assert!(got.distance(&want) < 1e-12, "d={}", got.distance(&want));
+    }
+
+    #[test]
+    fn transform_matches_reference_4d() {
+        let k = 4;
+        let t = det_tensor(Shape::cube(4, k), 3);
+        let hs: Vec<Tensor> = (0..4)
+            .map(|i| det_tensor(Shape::matrix(k, k), 100 + i))
+            .collect();
+        let hrefs: Vec<&Tensor> = hs.iter().collect();
+        let got = transform(&t, &hrefs);
+        let want = reference_transform(&t, &hrefs);
+        assert!(got.distance(&want) < 1e-12);
+    }
+
+    #[test]
+    fn rectangular_operators_change_output_shape() {
+        let t = det_tensor(Shape::new(&[3, 4]), 5);
+        let h1 = det_tensor(Shape::matrix(3, 6), 6);
+        let h2 = det_tensor(Shape::matrix(4, 2), 8);
+        let got = general_transform(&t, &[&h1, &h2]);
+        assert_eq!(got.shape().dims(), &[6, 2]);
+        let want = reference_transform(&t, &[&h1, &h2]);
+        assert!(got.distance(&want) < 1e-12);
+    }
+
+    #[test]
+    fn identity_transform_is_noop() {
+        let k = 6;
+        let t = det_tensor(Shape::cube(3, k), 9);
+        let i = Tensor::identity(k);
+        let got = transform(&t, &[&i, &i, &i]);
+        assert!(got.distance(&t) < 1e-13);
+    }
+
+    #[test]
+    fn transform_dim_rotates_axes() {
+        let t = det_tensor(Shape::new(&[2, 3, 4]), 21);
+        let h = Tensor::identity(2);
+        let r = transform_dim(&t, &h);
+        assert_eq!(r.shape().dims(), &[3, 4, 2]);
+        // r_{j2 j3 i} = t_{i j2 j3} for identity h.
+        for a in 0..2 {
+            for b in 0..3 {
+                for c in 0..4 {
+                    assert_eq!(r.at(&[b, c, a]), t.at(&[a, b, c]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_adds_to_existing() {
+        let k = 4;
+        let t = det_tensor(Shape::cube(3, k), 2);
+        let hs: Vec<Tensor> = (0..3)
+            .map(|i| det_tensor(Shape::matrix(k, k), 40 + i))
+            .collect();
+        let hr: Vec<&Tensor> = hs.iter().collect();
+        let base = det_tensor(Shape::cube(3, k), 99);
+        let mut acc = base.clone();
+        let mut scratch = TransformScratch::new();
+        transform_accumulate(&t, &hr, &mut scratch, &mut acc);
+        let want = &base + &transform(&t, &hr);
+        assert!(acc.distance(&want) < 1e-12);
+    }
+
+    #[test]
+    fn scratch_reuse_across_calls_is_clean() {
+        let k = 4;
+        let mut scratch = TransformScratch::with_capacity(k * k * k);
+        let t1 = det_tensor(Shape::cube(3, k), 1);
+        let t2 = det_tensor(Shape::cube(3, k), 2);
+        let hs: Vec<Tensor> = (0..3)
+            .map(|i| det_tensor(Shape::matrix(k, k), 60 + i))
+            .collect();
+        let hr: Vec<&Tensor> = hs.iter().collect();
+        let mut out1 = Tensor::zeros(Shape::cube(3, k));
+        let mut out2 = Tensor::zeros(Shape::cube(3, k));
+        transform_accumulate(&t1, &hr, &mut scratch, &mut out1);
+        transform_accumulate(&t2, &hr, &mut scratch, &mut out2);
+        assert!(out2.distance(&transform(&t2, &hr)) < 1e-12);
+    }
+
+    #[test]
+    fn rank_reduced_full_rank_matches_plain() {
+        let k = 5;
+        let t = det_tensor(Shape::cube(3, k), 31);
+        let hs: Vec<Tensor> = (0..3)
+            .map(|i| det_tensor(Shape::matrix(k, k), 70 + i))
+            .collect();
+        let hr: Vec<&Tensor> = hs.iter().collect();
+        let full = transform(&t, &hr);
+        let rr = transform_rr(&t, &hr, &[k, k, k]);
+        assert!(full.distance(&rr) < 1e-12);
+    }
+
+    #[test]
+    fn rank_reduction_error_vanishes_when_tail_is_zero() {
+        // Build operators whose rows beyond kr are exactly zero; then the
+        // reduced contraction is exact.
+        let k = 6;
+        let kr = 3;
+        let t = det_tensor(Shape::cube(3, k), 5);
+        let hs: Vec<Tensor> = (0..3)
+            .map(|i| {
+                let mut h = det_tensor(Shape::matrix(k, k), 80 + i);
+                for r in kr..k {
+                    for c in 0..k {
+                        *h.at_mut(&[r, c]) = 0.0;
+                    }
+                }
+                h
+            })
+            .collect();
+        let hr: Vec<&Tensor> = hs.iter().collect();
+        // Plain transform also sees the zero rows, but the reduced one must
+        // be identical while touching only kr rows of t... except pass ≥ 2
+        // contracts dims of the intermediate; only pass 1 skips rows of t
+        // itself. Keep the check on full equality.
+        let full = transform(&t, &hr);
+        let rr = transform_rr(&t, &hr, &[kr, kr, kr]);
+        assert!(full.distance(&rr) < 1e-12);
+    }
+
+    #[test]
+    fn rank_reduced_rectangular_operators_grow_intermediates() {
+        // Regression: growing intermediates (rectangular operators) used
+        // to overflow transform_rr's scratch, which was sized per pass
+        // against the original tensor instead of cumulatively.
+        let t = det_tensor(Shape::cube(3, 2), 77);
+        let hs: Vec<Tensor> = (0..3)
+            .map(|i| det_tensor(Shape::matrix(2, 4), 80 + i))
+            .collect();
+        let hr: Vec<&Tensor> = hs.iter().collect();
+        let full = general_transform(&t, &hr);
+        let rr = transform_rr(&t, &hr, &[2, 2, 2]);
+        assert_eq!(rr.shape().dims(), &[4, 4, 4]);
+        assert!(full.distance(&rr) < 1e-12);
+    }
+
+    #[test]
+    fn rank_reduced_accumulate_adds() {
+        let k = 4;
+        let t = det_tensor(Shape::cube(3, k), 11);
+        let hs: Vec<Tensor> = (0..3)
+            .map(|i| det_tensor(Shape::matrix(k, k), 90 + i))
+            .collect();
+        let hr: Vec<&Tensor> = hs.iter().collect();
+        let base = det_tensor(Shape::cube(3, k), 5);
+        let mut acc = base.clone();
+        let mut scratch = TransformScratch::new();
+        transform_rr_accumulate(&t, &hr, &[2, 3, 4], &mut scratch, &mut acc);
+        let want = &base + &transform_rr(&t, &hr, &[2, 3, 4]);
+        assert!(acc.distance(&want) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one operator matrix per dimension")]
+    fn wrong_operator_count_panics() {
+        let t = Tensor::zeros(Shape::cube(3, 3));
+        let h = Tensor::identity(3);
+        let _ = transform(&t, &[&h, &h]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the tensor kernels.
+
+use madness_tensor::mtxmq::mtxmq_reference;
+use madness_tensor::{
+    general_transform, mtxmq, mtxmq_acc, mtxmq_rr, transform, Shape, Tensor,
+};
+use proptest::prelude::*;
+
+fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The optimized kernel agrees with the naive triple loop on random
+    /// shapes and data.
+    #[test]
+    fn mtxmq_matches_reference(
+        dimi in 1usize..20,
+        dimj in 1usize..20,
+        dimk in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let a: Vec<f64> = (0..dimk * dimi).map(|_| next()).collect();
+        let b: Vec<f64> = (0..dimk * dimj).map(|_| next()).collect();
+        let mut c = vec![f64::NAN; dimi * dimj];
+        mtxmq(dimi, dimj, dimk, &a, &b, &mut c);
+        let r = mtxmq_reference(dimi, dimj, dimk, &a, &b);
+        prop_assert!(close(&c, &r, 1e-10));
+    }
+
+    /// `mtxmq` then `mtxmq_acc` equals doubling the product.
+    #[test]
+    fn acc_is_additive(dim in 1usize..12) {
+        let n = dim * dim;
+        let a: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let mut c = vec![0.0; n];
+        mtxmq(dim, dim, dim, &a, &b, &mut c);
+        let single = c.clone();
+        mtxmq_acc(dim, dim, dim, &a, &b, &mut c);
+        let doubled: Vec<f64> = single.iter().map(|x| 2.0 * x).collect();
+        prop_assert!(close(&c, &doubled, 1e-12));
+    }
+
+    /// Rank reduction at full rank is exact; at partial rank it equals
+    /// the reference sum truncated to `kr` terms.
+    #[test]
+    fn rank_reduction_truncates_contraction(
+        dimi in 1usize..10,
+        dimj in 1usize..10,
+        dimk in 2usize..10,
+        frac in 0.0f64..1.0,
+    ) {
+        let kr = ((dimk as f64 * frac) as usize).clamp(1, dimk);
+        let a: Vec<f64> = (0..dimk * dimi).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let b: Vec<f64> = (0..dimk * dimj).map(|i| ((i * 5 + 1) % 13) as f64 - 6.0).collect();
+        let mut c = vec![0.0; dimi * dimj];
+        mtxmq_rr(dimi, dimj, dimk, kr, &a, &b, &mut c);
+        // Reference: contract only kr rows.
+        let r = mtxmq_reference(dimi, dimj, kr, &a[..kr * dimi], &b[..kr * dimj]);
+        prop_assert!(close(&c, &r, 1e-12));
+    }
+
+    /// Transform is linear in its tensor argument.
+    #[test]
+    fn transform_is_linear(k in 2usize..6, alpha in -3.0f64..3.0) {
+        let t1 = Tensor::from_fn(Shape::cube(3, k), |ix| (ix[0] + 2 * ix[1] + 3 * ix[2]) as f64);
+        let t2 = Tensor::from_fn(Shape::cube(3, k), |ix| (ix[0] * ix[1]) as f64 - ix[2] as f64);
+        let h: Vec<Tensor> = (0..3)
+            .map(|d| Tensor::from_fn(Shape::matrix(k, k), |ix| {
+                ((ix[0] * (d + 2) + ix[1]) as f64).sin()
+            }))
+            .collect();
+        let hr: Vec<&Tensor> = h.iter().collect();
+        let lhs = transform(&(&(&t1 * alpha) + &t2), &hr);
+        let rhs = &(&transform(&t1, &hr) * alpha) + &transform(&t2, &hr);
+        prop_assert!(lhs.distance(&rhs) < 1e-9 * (1.0 + rhs.normf()));
+    }
+
+    /// Composing two transforms equals transforming by the matrix products:
+    /// transform(transform(t, A), B) == transform(t, A·B) where
+    /// (A·B)_{j i} = Σ_m A_{j m} B_{m i}.
+    #[test]
+    fn transform_composes(k in 2usize..5) {
+        let t = Tensor::from_fn(Shape::cube(3, k), |ix| {
+            1.0 / (1.0 + (ix[0] + ix[1] * 2 + ix[2] * 4) as f64)
+        });
+        let mk = |s: usize| Tensor::from_fn(Shape::matrix(k, k), |ix| {
+            (((ix[0] * 31 + ix[1] * 17 + s) % 7) as f64 - 3.0) / 3.0
+        });
+        let a: Vec<Tensor> = (0..3).map(mk).collect();
+        let b: Vec<Tensor> = (3..6).map(mk).collect();
+        let ab: Vec<Tensor> = (0..3).map(|d| {
+            Tensor::from_fn(Shape::matrix(k, k), |ix| {
+                (0..k).map(|m| a[d].at(&[ix[0], m]) * b[d].at(&[m, ix[1]])).sum()
+            })
+        }).collect();
+        let ar: Vec<&Tensor> = a.iter().collect();
+        let br: Vec<&Tensor> = b.iter().collect();
+        let abr: Vec<&Tensor> = ab.iter().collect();
+        let two_step = transform(&transform(&t, &ar), &br);
+        let one_step = transform(&t, &abr);
+        prop_assert!(two_step.distance(&one_step) < 1e-9 * (1.0 + one_step.normf()));
+    }
+
+    /// Rectangular transforms produce the documented output shape.
+    #[test]
+    fn rectangular_output_shape(n in 1usize..5, m in 1usize..5, p in 1usize..5, q in 1usize..5) {
+        let t = Tensor::full(Shape::new(&[n, p]), 1.0);
+        let h1 = Tensor::full(Shape::matrix(n, m), 0.5);
+        let h2 = Tensor::full(Shape::matrix(p, q), 0.25);
+        let r = general_transform(&t, &[&h1, &h2]);
+        let shape = r.shape();
+        prop_assert_eq!(shape.dims(), &[m, q][..]);
+        // Every entry is n*p * 1 * 0.5 * 0.25.
+        let want = (n * p) as f64 * 0.125;
+        prop_assert!(r.as_slice().iter().all(|&x| (x - want).abs() < 1e-12));
+    }
+
+    /// normf is absolutely homogeneous: ‖αt‖ = |α|·‖t‖.
+    #[test]
+    fn normf_homogeneous(alpha in -5.0f64..5.0, k in 1usize..6) {
+        let t = Tensor::from_fn(Shape::cube(2, k), |ix| (ix[0] as f64) - (ix[1] as f64) * 0.5);
+        let lhs = (&t * alpha).normf();
+        let rhs = alpha.abs() * t.normf();
+        prop_assert!((lhs - rhs).abs() < 1e-10 * (1.0 + rhs));
+    }
+}

@@ -1,0 +1,83 @@
+//! Simulate a Coulomb Apply on a CPU-GPU cluster and compare CPU-only,
+//! GPU-only and hybrid execution across node counts (the Tables III–V
+//! machinery, with your own parameters).
+//!
+//! ```text
+//! cargo run --release --example coulomb_cluster -- [k] [leaves] [max_nodes]
+//! # defaults:                                       10  2600     16
+//! ```
+
+use madness::cluster::node::{NodeParams, ResourceMode};
+use madness::core::coulomb::CoulombApp;
+use madness::core::scenario::Scenario;
+use madness::gpusim::KernelKind;
+use madness::mra::procmap::EvenMap;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let k: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let leaves: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2_600);
+    let max_nodes: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+
+    let app = CoulombApp::synthetic(k, 1e-10, leaves, 0xC0DE);
+    let scenario = Scenario {
+        name: format!("Coulomb d=3 k={k}"),
+        spec: app.spec(None),
+        displacements: app.op.displacements(),
+        tree: app.tree,
+        node_params: NodeParams::default(),
+    };
+    let kernel = KernelKind::auto_select(3, k);
+    println!(
+        "{}: {} tasks (rank M = {}), kernel = {kernel:?}, even process map",
+        scenario.name,
+        scenario.total_tasks(),
+        scenario.spec.rank
+    );
+    println!(
+        "\n{:<8}{:>12}{:>12}{:>12}{:>12}{:>10}",
+        "nodes", "CPU (s)", "GPU (s)", "hybrid (s)", "balance", "speedup"
+    );
+
+    let mut n = 2usize;
+    while n <= max_nodes {
+        let cpu = scenario
+            .run(n, &EvenMap, ResourceMode::CpuOnly { threads: 16 })
+            .total
+            .as_secs_f64();
+        let gpu = scenario
+            .run(
+                n,
+                &EvenMap,
+                ResourceMode::GpuOnly {
+                    streams: 5,
+                    kernel,
+                    data_threads: 12,
+                },
+            )
+            .total
+            .as_secs_f64();
+        let hybrid_report = scenario.run(
+            n,
+            &EvenMap,
+            ResourceMode::Hybrid {
+                compute_threads: 10,
+                data_threads: 5,
+                streams: 5,
+                kernel,
+            },
+        );
+        let hybrid = hybrid_report.total.as_secs_f64();
+        println!(
+            "{:<8}{:>12.2}{:>12.2}{:>12.2}{:>12.2}{:>10.2}",
+            n,
+            cpu,
+            gpu,
+            hybrid,
+            hybrid_report.balance(),
+            cpu / hybrid
+        );
+        n *= 2;
+    }
+    println!("\n(speedup = CPU-only / hybrid; paper reports up to 2.3×)");
+}

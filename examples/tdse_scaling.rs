@@ -1,0 +1,88 @@
+//! The paper's largest experiment shape: a 4-D time-dependent
+//! Schrödinger workload scaled over hundreds of simulated CPU-GPU nodes
+//! (Table VI), with a cost-partitioned locality process map.
+//!
+//! ```text
+//! cargo run --release --example tdse_scaling -- [leaves] [nodes...]
+//! # default: 6900 100 200 300 400 500
+//! ```
+
+use madness::cluster::node::{NodeParams, ResourceMode};
+use madness::core::scenario::Scenario;
+use madness::core::tdse::TdseApp;
+use madness::gpusim::KernelKind;
+use madness::mra::procmap::CostPartitionMap;
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let leaves = args.first().copied().unwrap_or(6_900);
+    let node_counts: Vec<usize> = if args.len() > 1 {
+        args[1..].to_vec()
+    } else {
+        vec![100, 200, 300, 400, 500]
+    };
+
+    let app = TdseApp::synthetic(14, 100, leaves, 0x7D5E);
+    let scenario = Scenario {
+        name: "TDSE d=4 k=14".into(),
+        spec: app.spec(Some(1e-6)), // rank reduction on, as in Table VI
+        displacements: app.op.displacements(),
+        tree: app.tree,
+        node_params: NodeParams::default(),
+    };
+    println!(
+        "{}: {} tasks (paper: 542,113), rank M = {}, cuBLAS kernels",
+        scenario.name,
+        scenario.total_tasks(),
+        scenario.spec.rank
+    );
+    println!(
+        "\n{:<8}{:>12}{:>12}{:>12}{:>12}{:>10}",
+        "nodes", "CPU (s)", "GPU (s)", "hybrid (s)", "optimal (s)", "speedup"
+    );
+    for &n in &node_counts {
+        let map = CostPartitionMap::build(&scenario.tree, 4, n);
+        let cpu = scenario
+            .run(n, &map, ResourceMode::CpuOnly { threads: 16 })
+            .total
+            .as_secs_f64();
+        let gpu = scenario
+            .run(
+                n,
+                &map,
+                ResourceMode::GpuOnly {
+                    streams: 5,
+                    kernel: KernelKind::CublasLike,
+                    data_threads: 14,
+                },
+            )
+            .total
+            .as_secs_f64();
+        let hybrid = scenario
+            .run(
+                n,
+                &map,
+                ResourceMode::Hybrid {
+                    compute_threads: 9,
+                    data_threads: 6,
+                    streams: 5,
+                    kernel: KernelKind::CublasLike,
+                },
+            )
+            .total
+            .as_secs_f64();
+        println!(
+            "{:<8}{:>12.1}{:>12.1}{:>12.1}{:>12.1}{:>10.1}",
+            n,
+            cpu,
+            gpu,
+            hybrid,
+            madness::runtime::hybrid_optimal_time(cpu, gpu),
+            cpu / hybrid
+        );
+    }
+    println!("\n(paper Table VI: speedup 1.4 → 2.3 over 100 → 500 nodes)");
+}

@@ -1,0 +1,45 @@
+//! Facade crate re-exporting the whole madness-rs workspace.
+//!
+//! madness-rs reproduces "Adapting Irregular Computations to Large
+//! CPU-GPU Clusters in the MADNESS Framework" (IEEE CLUSTER 2012):
+//! the hybrid CPU-GPU `Apply` operator with asynchronous batching, over
+//! a from-scratch multiresolution-analysis substrate and simulated
+//! Fermi-class hardware.
+//!
+//! # Example: hybrid Apply end-to-end
+//!
+//! ```
+//! use madness::core::apply::{apply_batched, apply_cpu_reference, ApplyConfig};
+//! use madness::core::coulomb::CoulombApp;
+//!
+//! // Project a charge density and build a separated-rank 1/r operator.
+//! let app = CoulombApp::small(4, 1e-3);
+//!
+//! // Algorithm 1 (reference walk) vs Algorithms 3–6 (batched hybrid).
+//! let reference = apply_cpu_reference(&app.op, &app.tree);
+//! let (hybrid, stats) = apply_batched(&app.op, &app.tree, &ApplyConfig::default());
+//!
+//! assert!(stats.tasks > 0);
+//! for (key, node) in reference.iter() {
+//!     if let (Some(a), Some(b)) = (
+//!         &node.coeffs,
+//!         hybrid.get(key).and_then(|n| n.coeffs.as_ref()),
+//!     ) {
+//!         assert!(a.distance(b) < 1e-10); // identical numerics
+//!     }
+//! }
+//! ```
+//!
+//! See the individual crates for details:
+//! [`madness_tensor`], [`madness_mra`], [`madness_runtime`],
+//! [`madness_gpusim`], [`madness_cluster`], [`madness_core`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use madness_cluster as cluster;
+pub use madness_core as core;
+pub use madness_gpusim as gpusim;
+pub use madness_mra as mra;
+pub use madness_runtime as runtime;
+pub use madness_tensor as tensor;
