@@ -31,7 +31,13 @@ fn bench_apply(c: &mut Criterion) {
         b.iter(|| black_box(apply_cpu_reference(&app.op, &app.tree)))
     });
     g.bench_function("batched_cpu", |b| {
-        b.iter(|| black_box(apply_batched(&app.op, &app.tree, &config(ApplyResource::Cpu))))
+        b.iter(|| {
+            black_box(apply_batched(
+                &app.op,
+                &app.tree,
+                &config(ApplyResource::Cpu),
+            ))
+        })
     });
     g.bench_function("batched_hybrid", |b| {
         b.iter(|| {

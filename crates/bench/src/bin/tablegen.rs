@@ -5,7 +5,7 @@
 //! cargo run --release -p madness-bench --bin tablegen -- table1 fig5
 //! ```
 
-use madness_bench::{ablation, figures, tables};
+use madness_bench::{ablation, figures, tables, trace_report};
 
 fn hr(title: &str) {
     println!("\n================================================================");
@@ -21,7 +21,10 @@ fn table1() {
          → 24.3 s (5 str, saturates); hybrid actual 14.4 s, optimal 12.1 s",
         t.tasks
     ));
-    println!("{:<14}{:>12}     {:<14}{:>12}", "CPU threads", "time (s)", "GPU streams", "time (s)");
+    println!(
+        "{:<14}{:>12}     {:<14}{:>12}",
+        "CPU threads", "time (s)", "GPU streams", "time (s)"
+    );
     for i in 0..t.cpu_rows.len().max(t.gpu_rows.len()) {
         let left = t
             .cpu_rows
@@ -149,8 +152,10 @@ fn fig(rows: &[figures::FigRow], title: &str) {
 
 fn future() {
     let f = tables::kepler_forecast();
-    hr("Future-work forecast (paper §VI) — Titan's Kepler upgrade,\n\
-        GPU-only Coulomb d=3 k=10 (custom kernel, 5 streams)");
+    hr(
+        "Future-work forecast (paper §VI) — Titan's Kepler upgrade,\n\
+        GPU-only Coulomb d=3 k=10 (custom kernel, 5 streams)",
+    );
     println!("Fermi M2090, full rank               {:>10.1} s", f.fermi);
     println!(
         "Fermi M2090, rank-reduced            {:>10.1} s   (no effect — §II-D)",
@@ -170,19 +175,51 @@ fn future() {
 
 fn ablations() {
     hr("Ablations (DESIGN.md §6)");
-    println!("{:<52}{:>12}{:>12}{:>8}", "mechanism", "with (s)", "without (s)", "gain");
+    println!(
+        "{:<52}{:>12}{:>12}{:>8}",
+        "mechanism", "with (s)", "without (s)", "gain"
+    );
     for a in ablation::all_ablations() {
         println!(
             "{:<52}{:>12.2}{:>12.2}{:>8.2}",
-            a.name, a.with_mechanism, a.without_mechanism,
+            a.name,
+            a.with_mechanism,
+            a.without_mechanism,
             a.gain()
         );
     }
 }
 
+fn trace() {
+    hr("Trace — per-stage utilization, Table I workload\n\
+         stage times + idle sum exactly to each mode's total (sweep-line\n\
+         attribution over the SimTime-stamped journal)");
+    let runs = trace_report::trace_table1();
+    for run in &runs {
+        print!("{}", trace_report::render(run));
+    }
+    if let Some(hybrid) = runs.last() {
+        let json = hybrid.recorder.to_json();
+        let path = std::path::Path::new("target").join("trace-table1.json");
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("\nhybrid timeline written to {}", path.display()),
+            Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+        }
+    }
+}
+
 const EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "table3", "table4", "table5", "table6", "fig5", "fig6", "future",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fig5",
+    "fig6",
+    "future",
     "ablations",
+    "trace",
 ];
 
 fn main() {
@@ -235,5 +272,8 @@ fn main() {
     }
     if want("ablations") {
         ablations();
+    }
+    if want("trace") {
+        trace();
     }
 }

@@ -18,6 +18,7 @@
 //! | Figure 5   | [`figures::fig5`] |
 //! | Figure 6   | [`figures::fig6`] |
 //! | Ablations  | [`ablation`] |
+//! | Trace      | [`trace_report::trace_table1`] |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,3 +26,4 @@
 pub mod ablation;
 pub mod figures;
 pub mod tables;
+pub mod trace_report;

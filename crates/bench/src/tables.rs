@@ -36,7 +36,12 @@ fn coulomb_scenario_seeded(
     }
 }
 
-fn coulomb_scenario(k: usize, precision: f64, leaves: usize, rr: Option<f64>) -> Scenario {
+pub(crate) fn coulomb_scenario(
+    k: usize,
+    precision: f64,
+    leaves: usize,
+    rr: Option<f64>,
+) -> Scenario {
     coulomb_scenario_seeded(k, precision, leaves, rr, SEED)
 }
 
@@ -168,7 +173,11 @@ pub fn table2() -> Table2 {
         .total
         .as_secs_f64();
     let gpu = node
-        .simulate(&s.spec, n_tasks, gpu_mode_with(5, KernelKind::CublasLike, 15))
+        .simulate(
+            &s.spec,
+            n_tasks,
+            gpu_mode_with(5, KernelKind::CublasLike, 15),
+        )
         .total
         .as_secs_f64();
     let hybrid_actual = node
@@ -437,7 +446,10 @@ mod tests {
         // The advantage at 100 nodes is below the small-scale advantage.
         let small = rows3[0].ratio();
         let large = rows4.last().unwrap().ratio();
-        assert!(large < small, "ratio should shrink: {small:.2} → {large:.2}");
+        assert!(
+            large < small,
+            "ratio should shrink: {small:.2} → {large:.2}"
+        );
     }
 
     #[test]
@@ -476,7 +488,11 @@ mod tests {
             assert!(r.gpu < r.cpu, "GPU must beat CPU at {} nodes", r.nodes);
             assert!(r.hybrid_actual < r.cpu);
             let sp = r.speedup();
-            assert!((1.4..3.2).contains(&sp), "{} nodes: speedup {sp:.2}", r.nodes);
+            assert!(
+                (1.4..3.2).contains(&sp),
+                "{} nodes: speedup {sp:.2}",
+                r.nodes
+            );
         }
         // The paper's headline: ~2.3× over CPU-only at 300–500 nodes.
         let last = rows.last().unwrap().speedup();
@@ -488,7 +504,10 @@ mod tests {
         }
         let scale = rows[0].hybrid_actual / rows.last().unwrap().hybrid_actual;
         assert!(scale < 5.0, "scaling should be sublinear, got {scale:.2}");
-        assert!(scale > 2.0, "should still scale appreciably, got {scale:.2}");
+        assert!(
+            scale > 2.0,
+            "should still scale appreciably, got {scale:.2}"
+        );
         // NOTE (partial reproduction, see EXPERIMENTS.md): the paper's
         // speedup *rises* 1.4 → 2.3 with node count because MADNESS's CPU
         // path starves when too few tasks are in flight per node; our
@@ -523,8 +542,7 @@ pub fn kepler_forecast() -> KeplerForecast {
     let s = coulomb_scenario(10, 1e-8, 4_000, None);
     let s_rr = coulomb_scenario(10, 1e-8, 4_000, Some(1e-6));
     let n_tasks = s.total_tasks();
-    let run = |spec: &madness_cluster::workload::WorkloadSpec,
-               gpu: madness_gpusim::DeviceSpec| {
+    let run = |spec: &madness_cluster::workload::WorkloadSpec, gpu: madness_gpusim::DeviceSpec| {
         let node = NodeSim::new(NodeParams {
             gpu,
             ..NodeParams::default()

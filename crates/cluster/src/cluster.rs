@@ -4,6 +4,7 @@ use crate::network::NetworkModel;
 use crate::node::{NodeReport, NodeSim, ResourceMode};
 use crate::workload::TaskPopulation;
 use madness_gpusim::SimTime;
+use madness_trace::{Recorder, Stage};
 use rayon::prelude::*;
 
 /// Aggregate result of a cluster run.
@@ -74,7 +75,44 @@ impl ClusterSim {
                 (report, net)
             })
             .collect();
+        self.reduce(nodes, population)
+    }
 
+    /// [`ClusterSim::run`] with tracing. Nodes run sequentially (the
+    /// journal is one stream, so there is no parallel map here) and each
+    /// node's pipeline records into `rec`; the per-node remote
+    /// accumulation traffic is journaled as a `NetSend` event at the
+    /// node's finish time. Totals are bit-identical to `run`'s.
+    pub fn run_recorded<R: Recorder>(
+        &self,
+        population: &TaskPopulation,
+        mode: ResourceMode,
+        rec: &mut R,
+    ) -> ClusterReport {
+        let spec = population.spec;
+        let result_bytes = 8 * (spec.k as u64).pow(spec.d as u32);
+        let nodes: Vec<(NodeReport, SimTime)> = population
+            .per_node
+            .iter()
+            .map(|&n_tasks| {
+                let report = self.node.simulate_recorded(&spec, n_tasks, mode, rec);
+                let (msgs, bytes, net) = self.network.injection(n_tasks, result_bytes);
+                if R::ENABLED && msgs > 0 {
+                    rec.event(Stage::NetSend, report.total.as_nanos(), bytes);
+                    rec.add("net_msgs_sent", msgs);
+                    rec.add("net_bytes_sent", bytes);
+                }
+                (report, net)
+            })
+            .collect();
+        self.reduce(nodes, population)
+    }
+
+    fn reduce(
+        &self,
+        nodes: Vec<(NodeReport, SimTime)>,
+        population: &TaskPopulation,
+    ) -> ClusterReport {
         let mut total = SimTime::ZERO;
         let mut slowest = 0usize;
         let mut network_time = SimTime::ZERO;

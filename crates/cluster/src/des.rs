@@ -129,6 +129,13 @@ impl FifoResource {
     /// Enqueues an item released at `release` needing `duration`;
     /// returns `(start, end)`.
     pub fn serve(&mut self, release: SimTime, duration: SimTime) -> (SimTime, SimTime) {
+        let (_, start, end) = self.serve_on(release, duration);
+        (start, end)
+    }
+
+    /// Like [`FifoResource::serve`], also reporting which lane served the
+    /// item (for trace journals).
+    pub fn serve_on(&mut self, release: SimTime, duration: SimTime) -> (usize, SimTime, SimTime) {
         let (idx, &free) = self
             .lanes
             .iter()
@@ -140,7 +147,19 @@ impl FifoResource {
         self.lanes[idx] = end;
         self.busy += duration;
         self.served += 1;
-        (start, end)
+        (idx, start, end)
+    }
+
+    /// The next possible start time for an item released at `release`
+    /// (what [`FifoResource::serve`] would return as `start`), without
+    /// enqueuing anything.
+    pub fn next_start(&self, release: SimTime) -> SimTime {
+        self.lanes
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimTime::ZERO)
+            .max(release)
     }
 
     /// Time when every lane is free (the resource's makespan).

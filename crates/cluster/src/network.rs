@@ -38,13 +38,20 @@ impl NetworkModel {
     /// `n_tasks × remote_fraction` messages of `bytes_per_msg` each,
     /// pipelined (latency paid once per message, bandwidth shared).
     pub fn injection_time(&self, n_tasks: u64, bytes_per_msg: u64) -> SimTime {
+        self.injection(n_tasks, bytes_per_msg).2
+    }
+
+    /// [`NetworkModel::injection_time`] plus the traffic it accounts:
+    /// `(messages, bytes, time)` — what a trace recorder journals.
+    pub fn injection(&self, n_tasks: u64, bytes_per_msg: u64) -> (u64, u64, SimTime) {
         let msgs = (n_tasks as f64 * self.remote_fraction).ceil() as u64;
         if msgs == 0 {
-            return SimTime::ZERO;
+            return (0, 0, SimTime::ZERO);
         }
         let bytes = msgs * bytes_per_msg;
         // Messages overlap on the NIC: latency of the first + streaming.
-        self.latency + SimTime::from_secs_f64(bytes as f64 / self.bandwidth)
+        let time = self.latency + SimTime::from_secs_f64(bytes as f64 / self.bandwidth);
+        (msgs, bytes, time)
     }
 }
 
@@ -74,10 +81,7 @@ mod tests {
         let n = NetworkModel::default();
         let bytes = 8 * 14u64.pow(4);
         let t = n.injection_time(5_421, bytes);
-        assert!(
-            t.as_secs_f64() < 1.0,
-            "network would bottleneck: {t}"
-        );
+        assert!(t.as_secs_f64() < 1.0, "network would bottleneck: {t}");
     }
 
     #[test]

@@ -24,8 +24,11 @@
 
 use crate::des::FifoResource;
 use crate::workload::WorkloadSpec;
-use madness_gpusim::{DeviceSpec, ExecMode, GpuDevice, KernelKind, PinnedBufferPool, SimTime, TransformTask};
+use madness_gpusim::{
+    DeviceSpec, ExecMode, GpuDevice, KernelKind, PinnedBufferPool, SimTime, TransformTask,
+};
 use madness_runtime::{BatcherConfig, CpuModel, SplitPlan};
+use madness_trace::{NullRecorder, Recorder, Stage};
 
 /// Which execution resources the node uses.
 #[derive(Clone, Copy, Debug)]
@@ -136,10 +139,7 @@ impl NodeSim {
 
     /// Per-task data-intensive time (preprocess + postprocess).
     fn data_per_task(&self, spec: &WorkloadSpec) -> SimTime {
-        let full = self
-            .params
-            .cpu
-            .task_time(spec.task_flops(), spec.d, spec.k);
+        let full = self.params.cpu.task_time(spec.task_flops(), spec.d, spec.k);
         full * self.params.data_fraction
     }
 
@@ -152,16 +152,33 @@ impl NodeSim {
 
     /// Simulates `n_tasks` homogeneous tasks; returns the timing report.
     pub fn simulate(&self, spec: &WorkloadSpec, n_tasks: u64, mode: ResourceMode) -> NodeReport {
+        self.simulate_recorded(spec, n_tasks, mode, &mut NullRecorder)
+    }
+
+    /// [`NodeSim::simulate`] with tracing: journals every pipeline stage
+    /// (preprocess, batch flushes, dispatch, transfers, kernels, CPU
+    /// compute, postprocess) into `rec` along with the batcher/cache/pool
+    /// counters and the dispatcher's split-ratio history. The report is
+    /// bit-identical to `simulate`'s regardless of the recorder.
+    pub fn simulate_recorded<R: Recorder>(
+        &self,
+        spec: &WorkloadSpec,
+        n_tasks: u64,
+        mode: ResourceMode,
+        rec: &mut R,
+    ) -> NodeReport {
         if n_tasks == 0 {
             return NodeReport::default();
         }
         match mode {
-            ResourceMode::CpuOnly { threads } => self.simulate_cpu_only(spec, n_tasks, threads),
+            ResourceMode::CpuOnly { threads } => {
+                self.simulate_cpu_only(spec, n_tasks, threads, rec)
+            }
             ResourceMode::GpuOnly {
                 streams,
                 kernel,
                 data_threads,
-            } => self.simulate_device(spec, n_tasks, None, data_threads, streams, kernel),
+            } => self.simulate_device(spec, n_tasks, None, data_threads, streams, kernel, rec),
             ResourceMode::Hybrid {
                 compute_threads,
                 data_threads,
@@ -174,13 +191,20 @@ impl NodeSim {
                 data_threads,
                 streams,
                 kernel,
+                rec,
             ),
         }
     }
 
     /// CPU-only: data work and compute share the same worker threads, so
     /// the two phases serialize (closed form; no pipeline to simulate).
-    fn simulate_cpu_only(&self, spec: &WorkloadSpec, n_tasks: u64, threads: usize) -> NodeReport {
+    fn simulate_cpu_only<R: Recorder>(
+        &self,
+        spec: &WorkloadSpec,
+        n_tasks: u64,
+        threads: usize,
+        rec: &mut R,
+    ) -> NodeReport {
         let compute = self.params.cpu.batch_time(
             n_tasks as usize,
             spec.task_flops_cpu(),
@@ -193,6 +217,21 @@ impl NodeSim {
         let data = SimTime::from_secs_f64(
             data_each.as_secs_f64() * n_tasks as f64 / self.data_eff(threads),
         );
+        if R::ENABLED {
+            // The serialized phases, with the data time split 60/40 into
+            // pre/post as in the pipelined path (post is the exact
+            // complement so the spans tile [0, total] without a rounding
+            // gap).
+            let pre = data * 0.6;
+            let post = data - pre;
+            let t1 = pre.as_nanos();
+            let t2 = t1 + compute.as_nanos();
+            rec.span(Stage::Preprocess, 0, t1, 0);
+            rec.span(Stage::CpuCompute, t1, t2, 0);
+            rec.span(Stage::Postprocess, t2, t2 + post.as_nanos(), 0);
+            rec.add("tasks_total", n_tasks);
+            rec.add("tasks_cpu", n_tasks);
+        }
         NodeReport {
             total: compute + data,
             cpu_compute: compute,
@@ -204,7 +243,8 @@ impl NodeSim {
 
     /// GPU-only and hybrid share the pipelined path; `compute_threads`
     /// is `None` for GPU-only.
-    fn simulate_device(
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_device<R: Recorder>(
         &self,
         spec: &WorkloadSpec,
         n_tasks: u64,
@@ -212,12 +252,26 @@ impl NodeSim {
         data_threads: usize,
         streams: usize,
         kernel: KernelKind,
+        rec: &mut R,
     ) -> NodeReport {
         let p = &self.params;
         let mut device = GpuDevice::new(p.gpu.clone(), streams.max(1));
-        // Pinned staging buffers are page-locked once up front.
+        // Pinned staging buffers are page-locked once up front — on the
+        // device-management thread, concurrently with CPU-side work.
+        // Only the dispatcher's packing into those buffers (and hence
+        // everything downstream on the GPU) waits for the page-locks;
+        // preprocess and the CPU compute share never do. (Charging the
+        // setup to the whole pipeline made hybrid mode pay a 2 ms entry
+        // fee on microscopic workloads the dispatcher routes entirely to
+        // the CPU — the committed cc 48b56d… proptest regression.)
         let pool = PinnedBufferPool::new(&p.gpu, 4, 32 << 20);
-        let start = pool.setup_cost();
+        let pool_ready = pool.setup_cost();
+        if R::ENABLED {
+            // The page-lock DMA setup occupies the transfer path up front.
+            rec.span(Stage::Transfer, 0, pool_ready.as_nanos(), 0);
+            rec.gauge_hwm("pinned_pool_capacity_bytes", pool.capacity());
+            rec.add("tasks_total", n_tasks);
+        }
 
         let data_each = self.data_per_task(spec);
         let pre_each = data_each * 0.6;
@@ -225,8 +279,7 @@ impl NodeSim {
         let data_lanes = data_threads.clamp(1, p.data_threads_cap);
         // Memory-bound data threads: lanes beyond the cap add nothing;
         // contention inside the cap comes from the CPU model.
-        let lane_slowdown =
-            data_lanes as f64 / self.params.cpu.effective_threads(data_lanes);
+        let lane_slowdown = data_lanes as f64 / self.params.cpu.effective_threads(data_lanes);
 
         let mut data_res = FifoResource::new(data_lanes);
         let mut dispatcher = FifoResource::new(1);
@@ -248,41 +301,105 @@ impl NodeSim {
             remaining -= b;
             n_batches += 1;
             // Preprocess the batch's tasks on the data lanes.
-            let mut release = start;
+            let mut release = SimTime::ZERO;
             for _ in 0..b {
-                let (_, end) = data_res.serve(start, pre_each_eff);
+                let (lane, start, end) = data_res.serve_on(SimTime::ZERO, pre_each_eff);
+                if R::ENABLED {
+                    rec.span(
+                        Stage::Preprocess,
+                        start.as_nanos(),
+                        end.as_nanos(),
+                        lane as u32,
+                    );
+                }
                 release = release.max(end);
             }
-            // Dispatcher rearranges the batch into transfer buffers.
-            let (_, disp_end) = dispatcher.serve(release, p.dispatch_per_task * b);
+            if R::ENABLED {
+                // The batch flushes when its last input is preprocessed —
+                // by the size trigger at a full batch, by the timer for
+                // the end-of-run remainder.
+                rec.event(Stage::Batch, release.as_nanos(), b);
+                rec.add(
+                    if b == batch_cap {
+                        "batch_flush_size"
+                    } else {
+                        "batch_flush_timer"
+                    },
+                    1,
+                );
+            }
 
-            // Split.
+            // Split decision at batch-flush time.
             let (cpu_n, gpu_n, k) = match compute_threads {
                 None => (0u64, b, 0.0),
                 Some(ct) => {
                     let m = p
                         .cpu
-                        .batch_time(b as usize, spec.task_flops_cpu(), spec.d, spec.k, spec.rank, ct)
+                        .batch_time(
+                            b as usize,
+                            spec.task_flops_cpu(),
+                            spec.d,
+                            spec.k,
+                            spec.rank,
+                            ct,
+                        )
                         .as_secs_f64();
                     let n = self
                         .estimate_gpu_batch(&device, spec, b, kernel)
                         .as_secs_f64();
                     let plan = SplitPlan::for_times(b as usize, m, n);
-                    (plan.cpu_tasks as u64, plan.gpu_tasks as u64, madness_runtime::optimal_split(m, n))
+                    (
+                        plan.cpu_tasks as u64,
+                        plan.gpu_tasks as u64,
+                        madness_runtime::optimal_split(m, n),
+                    )
                 }
             };
             split_acc += k;
+            if R::ENABLED && compute_threads.is_some() {
+                rec.observe_split(k);
+            }
 
-            // GPU part: transfers + kernels through the real device model
+            // GPU part: the dispatcher rearranges the GPU share into the
+            // pinned transfer buffers (it must wait for the page-locks),
+            // then transfers + kernels run through the real device model
             // (its write-once cache makes the first batch pay for the h
-            // blocks and later batches ride free).
+            // blocks and later batches ride free). The CPU share is
+            // handed straight to the worker queue — it never touches the
+            // transfer buffers, so it costs the dispatcher nothing.
             if gpu_n > 0 {
-                let tasks: Vec<TransformTask> = (0..gpu_n)
-                    .map(|_| shape_task(spec))
-                    .collect();
-                let out = device.execute_batch(&tasks, kernel, ExecMode::Timing);
+                let (disp_start, disp_end) =
+                    dispatcher.serve(release.max(pool_ready), p.dispatch_per_task * gpu_n);
+                if R::ENABLED {
+                    rec.span(
+                        Stage::Dispatch,
+                        disp_start.as_nanos(),
+                        disp_end.as_nanos(),
+                        0,
+                    );
+                    rec.add("tasks_gpu", gpu_n);
+                }
+                let tasks: Vec<TransformTask> = (0..gpu_n).map(|_| shape_task(spec)).collect();
+                // The device journals its own transfer/kernel spans; it
+                // needs the batch's absolute start, which for the 1-lane
+                // GPU resource is what `serve` will hand back below.
+                let batch_start = gpu_res.next_start(disp_end);
+                let out = device.execute_batch_recorded(
+                    &tasks,
+                    kernel,
+                    ExecMode::Timing,
+                    batch_start,
+                    rec,
+                );
                 gpu_busy += out.time;
-                let (_, gend) = gpu_res.serve(disp_end, out.time);
+                let (gstart, gend) = gpu_res.serve(disp_end, out.time);
+                debug_assert_eq!(gstart, batch_start);
+                if R::ENABLED {
+                    rec.gauge_hwm(
+                        "pinned_pool_hwm_bytes",
+                        out.breakdown.bytes_s + out.breakdown.bytes_h,
+                    );
+                }
                 post_release.push((gend, gpu_n));
             }
             // CPU part.
@@ -297,7 +414,11 @@ impl NodeSim {
                     ct,
                 );
                 cpu_busy += dur;
-                let (_, cend) = cpu_res.serve(disp_end, dur);
+                let (cstart, cend) = cpu_res.serve(release, dur);
+                if R::ENABLED {
+                    rec.span(Stage::CpuCompute, cstart.as_nanos(), cend.as_nanos(), 0);
+                    rec.add("tasks_cpu", cpu_n);
+                }
                 post_release.push((cend, cpu_n));
             }
         }
@@ -305,7 +426,15 @@ impl NodeSim {
         // Postprocess accumulations on the data lanes.
         for (release, count) in post_release {
             for _ in 0..count {
-                data_res.serve(release, post_each_eff);
+                let (lane, start, end) = data_res.serve_on(release, post_each_eff);
+                if R::ENABLED {
+                    rec.span(
+                        Stage::Postprocess,
+                        start.as_nanos(),
+                        end.as_nanos(),
+                        lane as u32,
+                    );
+                }
             }
         }
 
@@ -390,7 +519,10 @@ mod tests {
             prev = tp;
         }
         let speedup = t1 / t(16);
-        assert!((5.0..8.0).contains(&speedup), "16-thread speedup {speedup:.2}");
+        assert!(
+            (5.0..8.0).contains(&speedup),
+            "16-thread speedup {speedup:.2}"
+        );
     }
 
     #[test]
@@ -524,8 +656,12 @@ mod tests {
         };
         let sm = sim();
         let n = 6_000;
-        let t_full = sm.simulate(&full, n, ResourceMode::CpuOnly { threads: 16 }).total;
-        let t_rr = sm.simulate(&rr, n, ResourceMode::CpuOnly { threads: 16 }).total;
+        let t_full = sm
+            .simulate(&full, n, ResourceMode::CpuOnly { threads: 16 })
+            .total;
+        let t_rr = sm
+            .simulate(&rr, n, ResourceMode::CpuOnly { threads: 16 })
+            .total;
         let gain = t_full.as_secs_f64() / t_rr.as_secs_f64();
         assert!((1.5..2.6).contains(&gain), "rank-reduction gain {gain:.2}");
     }

@@ -35,8 +35,7 @@ impl WorkloadSpec {
         match self.rr_mean_rank {
             Some(kr) => {
                 let krs = vec![kr.min(self.k); self.d];
-                (self.rank as u64)
-                    * madness_tensor::flops::transform_rr_flops(self.d, self.k, &krs)
+                (self.rank as u64) * madness_tensor::flops::transform_rr_flops(self.d, self.k, &krs)
             }
             None => self.task_flops(),
         }
@@ -131,9 +130,7 @@ impl TaskPopulation {
         assert!(n_nodes > 0);
         let base = total / n_nodes as u64;
         let rem = (total % n_nodes as u64) as usize;
-        let per_node = (0..n_nodes)
-            .map(|i| base + u64::from(i < rem))
-            .collect();
+        let per_node = (0..n_nodes).map(|i| base + u64::from(i < rem)).collect();
         TaskPopulation { spec, per_node }
     }
 }
@@ -211,8 +208,7 @@ mod tests {
         let t = tree(500);
         let op = madness_mra::SeparatedConvolution::gaussian_sum(3, 10, 2, 1.0, 10.0);
         let disps = op.displacements();
-        let exact =
-            TaskPopulation::from_tree_exact(&t, spec(), &EvenMap, 4, &disps);
+        let exact = TaskPopulation::from_tree_exact(&t, spec(), &EvenMap, 4, &disps);
         let full = TaskPopulation::from_tree(&t, spec(), &EvenMap, 4, disps.len() as u64);
         assert!(exact.total() <= full.total());
         assert!(exact.total() > full.total() / 2);

@@ -213,9 +213,7 @@ pub fn apply_batched(
                             .collect();
                         let effective_ranks = config.rank_reduce_eps.map(|eps| {
                             (0..d)
-                                .map(|dim| {
-                                    op.effective_rank(mu, key.level(), disp.delta[dim], eps)
-                                })
+                                .map(|dim| op.effective_rank(mu, key.level(), disp.delta[dim], eps))
                                 .collect()
                         });
                         TransformTerm {
@@ -285,10 +283,8 @@ pub fn apply_batched(
         // GPU side (always full rank — resources reserved at launch).
         // Ownership moves into the task slice: no per-task deep clone.
         if !gpu_part.is_empty() {
-            let (neighbors, tasks): (Vec<Key>, Vec<TransformTask>) = gpu_part
-                .into_iter()
-                .map(|p| (p.neighbor, p.task))
-                .unzip();
+            let (neighbors, tasks): (Vec<Key>, Vec<TransformTask>) =
+                gpu_part.into_iter().map(|p| (p.neighbor, p.task)).unzip();
             let out = device.execute_batch(&tasks, kernel, ExecMode::Full);
             for (neighbor, r) in neighbors.into_iter().zip(out.results) {
                 results.push((neighbor, r.expect("full mode returns results")));

@@ -6,10 +6,10 @@
 //! precision, exactly the knobs the paper's tables vary.
 
 use crate::scenario::mean_effective_rank;
+use crate::scenario::random_centers;
 use madness_cluster::workload::WorkloadSpec;
 use madness_mra::convolution::SeparatedConvolution;
 use madness_mra::project::{project_adaptive, ProjectParams};
-use crate::scenario::random_centers;
 use madness_mra::synth::{synthesize_tree, SynthTreeParams};
 use madness_mra::tree::FunctionTree;
 

@@ -82,12 +82,7 @@ impl Scenario {
     }
 
     /// Runs the scenario on a simulated cluster.
-    pub fn run(
-        &self,
-        n_nodes: usize,
-        map: &dyn ProcessMap,
-        mode: ResourceMode,
-    ) -> ClusterReport {
+    pub fn run(&self, n_nodes: usize, map: &dyn ProcessMap, mode: ResourceMode) -> ClusterReport {
         let pop = self.population(n_nodes, map);
         let sim = ClusterSim::new(
             NodeSim::new(self.node_params.clone()),

@@ -7,6 +7,7 @@ use crate::spec::DeviceSpec;
 use crate::task::TransformTask;
 use crate::transfer::TransferEngine;
 use madness_tensor::{Tensor, TransformScratch};
+use madness_trace::{NullRecorder, Recorder, Stage};
 use rayon::prelude::*;
 
 /// Whether batch execution performs the real arithmetic or only accounts
@@ -146,6 +147,23 @@ impl GpuDevice {
         kind: KernelKind,
         mode: ExecMode,
     ) -> BatchOutcome {
+        self.execute_batch_recorded(tasks, kind, mode, SimTime::ZERO, &mut NullRecorder)
+    }
+
+    /// [`GpuDevice::execute_batch`] with tracing: journals the batch's
+    /// transfer and per-stream kernel spans relative to `batch_start`,
+    /// counts cache hits/misses/evictions and kernel launches, and
+    /// accumulates per-stream busy time. With [`NullRecorder`] this is
+    /// exactly `execute_batch` — every recording branch folds away and
+    /// the returned timings are bit-identical.
+    pub fn execute_batch_recorded<R: Recorder>(
+        &mut self,
+        tasks: &[TransformTask],
+        kind: KernelKind,
+        mode: ExecMode,
+        batch_start: SimTime,
+        rec: &mut R,
+    ) -> BatchOutcome {
         let mut br = CostBreakdown::default();
         if tasks.is_empty() {
             return BatchOutcome {
@@ -154,21 +172,43 @@ impl GpuDevice {
                 breakdown: br,
             };
         }
+        let t0 = batch_start.as_nanos();
 
         // --- transfers in ---------------------------------------------
         br.bytes_s = tasks.iter().map(|t| t.s_bytes()).sum();
         br.transfer_in_s = self.engine.transfer_time(br.bytes_s, self.pinned);
+        let (hits0, misses0, evictions0) = self.cache.stats();
         for t in tasks {
             let per_block = t.h_block_bytes();
             br.bytes_h += self.cache.ensure_batch(t.h_ids(), per_block);
         }
         br.transfer_in_h = self.engine.transfer_time(br.bytes_h, self.pinned);
+        if R::ENABLED {
+            let (hits, misses, evictions) = self.cache.stats();
+            for (stage, counter, n) in [
+                (Stage::CacheHit, "cache_hit", hits - hits0),
+                (Stage::CacheMiss, "cache_miss", misses - misses0),
+                (Stage::CacheEvict, "cache_evict", evictions - evictions0),
+            ] {
+                if n > 0 {
+                    rec.add(counter, n);
+                    rec.event(stage, t0, n);
+                }
+            }
+            let tin = br.transfer_in_s + br.transfer_in_h;
+            rec.span(Stage::Transfer, t0, t0 + tin.as_nanos(), 0);
+            rec.add("bytes_h2d", br.bytes_s + br.bytes_h);
+        }
 
         // --- compute: greedy list scheduling over streams ---------------
-        let costs: Vec<_> = tasks.iter().map(|t| kernel_cost(&self.spec, kind, t)).collect();
+        let costs: Vec<_> = tasks
+            .iter()
+            .map(|t| kernel_cost(&self.spec, kind, t))
+            .collect();
         br.launches = costs.iter().map(|c| c.launches).sum();
         let sms_per_kernel = costs.iter().map(|c| c.sms_used).max().unwrap_or(1);
         let lanes = self.concurrency(sms_per_kernel);
+        let compute_begin = t0 + (br.transfer_in_s + br.transfer_in_h).as_nanos();
         let mut lane_load = vec![SimTime::ZERO; lanes];
         for c in &costs {
             let (idx, _) = lane_load
@@ -176,22 +216,47 @@ impl GpuDevice {
                 .enumerate()
                 .min_by_key(|(_, l)| **l)
                 .expect("at least one lane");
+            // Lanes fill back-to-back, so the lane's current load is this
+            // kernel's in-batch start offset.
+            if R::ENABLED {
+                let start = compute_begin + lane_load[idx].as_nanos();
+                rec.span(
+                    Stage::KernelLaunch,
+                    start,
+                    start + c.duration.as_nanos(),
+                    idx as u32,
+                );
+            }
             lane_load[idx] += c.duration;
+        }
+        if R::ENABLED {
+            rec.add("kernel_launches", br.launches);
+            for (idx, load) in lane_load.iter().enumerate() {
+                rec.add(&format!("stream_busy_ns.{idx}"), load.as_nanos());
+            }
         }
         br.compute = lane_load.into_iter().max().unwrap_or(SimTime::ZERO);
 
         // --- transfer out ----------------------------------------------
         br.bytes_out = br.bytes_s; // result blocks have the source shape
         br.transfer_out = self.engine.transfer_time(br.bytes_out, self.pinned);
+        if R::ENABLED {
+            let out_begin = compute_begin + br.compute.as_nanos();
+            rec.span(
+                Stage::Transfer,
+                out_begin,
+                out_begin + br.transfer_out.as_nanos(),
+                0,
+            );
+            rec.add("bytes_d2h", br.bytes_out);
+        }
 
         // --- arithmetic --------------------------------------------------
         let results: Vec<Option<Tensor>> = match mode {
             ExecMode::Timing => vec![None; tasks.len()],
             ExecMode::Full => tasks
                 .par_iter()
-                .map_init(TransformScratch::new, |scratch, t| {
-                    execute_task(t, scratch)
-                })
+                .map_init(TransformScratch::new, |scratch, t| execute_task(t, scratch))
                 .collect(),
         };
 
@@ -270,7 +335,11 @@ mod tests {
     #[test]
     fn shared_blocks_transfer_once_within_batch() {
         let mut d = device(5);
-        let out = d.execute_batch(&shared_h_batch(20), KernelKind::CustomMtxmq, ExecMode::Timing);
+        let out = d.execute_batch(
+            &shared_h_batch(20),
+            KernelKind::CustomMtxmq,
+            ExecMode::Timing,
+        );
         // 20 tasks × 300 block refs, but only 300 distinct blocks.
         let per_block = 8 * 10 * 10;
         assert_eq!(out.breakdown.bytes_h, 300 * per_block);
@@ -302,7 +371,9 @@ mod tests {
             s: Some(Arc::clone(&s)),
             terms: vec![TransformTerm {
                 coeff: 4.0,
-                hs: (0..3).map(|i| HBlock::new(i as u64, Arc::clone(&ident))).collect(),
+                hs: (0..3)
+                    .map(|i| HBlock::new(i as u64, Arc::clone(&ident)))
+                    .collect(),
                 effective_ranks: None,
             }],
         };
@@ -321,10 +392,7 @@ mod tests {
             KernelKind::CublasLike,
             ExecMode::Full,
         );
-        assert_eq!(
-            r.as_slice(),
-            out2.results[0].as_ref().unwrap().as_slice()
-        );
+        assert_eq!(r.as_slice(), out2.results[0].as_ref().unwrap().as_slice());
     }
 
     #[test]
@@ -342,7 +410,11 @@ mod tests {
     #[test]
     fn reset_clears_cache() {
         let mut d = device(2);
-        d.execute_batch(&shared_h_batch(3), KernelKind::CustomMtxmq, ExecMode::Timing);
+        d.execute_batch(
+            &shared_h_batch(3),
+            KernelKind::CustomMtxmq,
+            ExecMode::Timing,
+        );
         assert!(!d.cache().is_empty());
         d.reset();
         assert!(d.cache().is_empty());

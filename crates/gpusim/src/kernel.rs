@@ -72,10 +72,8 @@ pub fn kernel_cost(spec: &DeviceSpec, kind: KernelKind, task: &TransformTask) ->
                 // reduction finally pays on the GPU. Each multiplication
                 // costs a cheap device-side sub-launch instead of an
                 // inter-block barrier.
-                let compute =
-                    SimTime::from_secs_f64(task.flops_rank_reduced() as f64 / rate);
-                let sub_launches =
-                    SimTime::from_nanos(800) * task.num_multiplications();
+                let compute = SimTime::from_secs_f64(task.flops_rank_reduced() as f64 / rate);
+                let sub_launches = SimTime::from_nanos(800) * task.num_multiplications();
                 KernelCost {
                     duration: spec.kernel_launch_overhead + compute + sub_launches,
                     launches: 1,
@@ -103,8 +101,8 @@ pub fn kernel_cost(spec: &DeviceSpec, kind: KernelKind, task: &TransformTask) ->
                     let flops = madness_tensor::flops::mtxmq_flops(fused, k, k);
                     let (sms, rate) = spec.cublas_gemm(fused, k, k);
                     sms_used = sms_used.max(sms);
-                    duration += spec.kernel_launch_overhead
-                        + SimTime::from_secs_f64(flops as f64 / rate);
+                    duration +=
+                        spec.kernel_launch_overhead + SimTime::from_secs_f64(flops as f64 / rate);
                     launches += 1;
                 }
             }
@@ -228,8 +226,14 @@ mod tests {
         for term in &mut t.terms {
             term.effective_ranks = Some(vec![4, 4, 4]);
         }
-        assert_eq!(kernel_cost(&spec, KernelKind::CustomMtxmq, &t).duration, custom_full.duration);
-        assert_eq!(kernel_cost(&spec, KernelKind::CublasLike, &t).duration, cublas_full.duration);
+        assert_eq!(
+            kernel_cost(&spec, KernelKind::CustomMtxmq, &t).duration,
+            custom_full.duration
+        );
+        assert_eq!(
+            kernel_cost(&spec, KernelKind::CublasLike, &t).duration,
+            cublas_full.duration
+        );
     }
 
     #[test]

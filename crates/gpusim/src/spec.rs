@@ -140,8 +140,7 @@ impl DeviceSpec {
         let sms = blocks.clamp(1, self.num_sms);
         let inner = (kk as f64 / 32.0).min(1.0);
         let eff = EFF_MAX * inner * inner;
-        let rate = (sms as f64 * self.dp_gflops_per_sm * 1e9 * eff)
-            .min(kk as f64 * 2.5e9);
+        let rate = (sms as f64 * self.dp_gflops_per_sm * 1e9 * eff).min(kk as f64 * 2.5e9);
         (sms, rate)
     }
 

@@ -126,9 +126,7 @@ impl TransformTask {
             .map(|mu| TransformTerm {
                 coeff: 1.0,
                 hs: (0..d)
-                    .map(|dim| {
-                        HBlock::shape_only((id_base << 20) | (mu * d + dim) as u64)
-                    })
+                    .map(|dim| HBlock::shape_only((id_base << 20) | (mu * d + dim) as u64))
                     .collect(),
                 effective_ranks: None,
             })

@@ -220,8 +220,7 @@ pub fn coeffs_at(tree: &FunctionTree, key: &Key, ts: &TwoScale) -> Option<madnes
                     let mut cur = c.clone();
                     for &which in path.iter().rev() {
                         let k = tree.k();
-                        let mut block =
-                            Tensor::zeros(Shape::cube(tree.d(), 2 * k));
+                        let mut block = Tensor::zeros(Shape::cube(tree.d(), 2 * k));
                         // s in the corner, d = 0: pure two-scale refine.
                         insert_s_corner(k, &mut block, &cur);
                         let mut kids = scatter_children(k, &ts.unfilter(&block));
@@ -231,7 +230,11 @@ pub fn coeffs_at(tree: &FunctionTree, key: &Key, ts: &TwoScale) -> Option<madnes
                 }
             }
         }
-        path.push(if anc.level() > 0 { anc.index_in_parent() } else { 0 });
+        path.push(if anc.level() > 0 {
+            anc.index_in_parent()
+        } else {
+            0
+        });
         anc = anc.parent()?;
     }
 }
@@ -257,17 +260,16 @@ pub fn multiply(a: &FunctionTree, b: &FunctionTree) -> FunctionTree {
     let ts = TwoScale::new(k);
     let quad = Quadrature::new(k);
     // quad_phi is (q, i) = φ_i(x_q); coeffs→values needs h_{i q} = φ_i(x_q).
-    let phi_t = Tensor::from_fn(Shape::matrix(k, k), |ix| quad.quad_phi().at(&[ix[1], ix[0]]));
+    let phi_t = Tensor::from_fn(Shape::matrix(k, k), |ix| {
+        quad.quad_phi().at(&[ix[1], ix[0]])
+    });
 
     // Union leaf set: leaves of either tree that are not covered by a
     // deeper leaf of the other.
     let mut union_leaves: Vec<Key> = Vec::new();
     for (key, node) in a.iter() {
         if node.is_leaf() && node.coeffs.is_some() {
-            let covered_deeper = b
-                .get(key)
-                .map(|n| n.has_children)
-                .unwrap_or(false);
+            let covered_deeper = b.get(key).map(|n| n.has_children).unwrap_or(false);
             if !covered_deeper {
                 union_leaves.push(*key);
             }
@@ -275,10 +277,7 @@ pub fn multiply(a: &FunctionTree, b: &FunctionTree) -> FunctionTree {
     }
     for (key, node) in b.iter() {
         if node.is_leaf() && node.coeffs.is_some() {
-            let covered_deeper = a
-                .get(key)
-                .map(|n| n.has_children)
-                .unwrap_or(false);
+            let covered_deeper = a.get(key).map(|n| n.has_children).unwrap_or(false);
             let already = a
                 .get(key)
                 .map(|n| n.is_leaf() && n.coeffs.is_some())
@@ -298,7 +297,7 @@ pub fn multiply(a: &FunctionTree, b: &FunctionTree) -> FunctionTree {
         };
         let scale = (1u64 << key.level()) as f64;
         let vol = scale.powf(d as f64 / 2.0); // 2^{nd/2}
-        // Values at the tensor-product quadrature grid.
+                                              // Values at the tensor-product quadrature grid.
         let mut va = transform(&ca, &phis);
         va.scale(vol);
         let mut vb = transform(&cb, &phis);
@@ -400,8 +399,7 @@ mod multiply_tests {
         let x_global = (deep.translations()[0] as f64 + x_local) / scale;
         let mut phi = vec![0.0; 6];
         crate::quadrature::scaling_functions(6, x_local, &mut phi);
-        let val: f64 = (0..6).map(|i| c.as_slice()[i] * phi[i]).sum::<f64>()
-            * scale.sqrt();
+        let val: f64 = (0..6).map(|i| c.as_slice()[i] * phi[i]).sum::<f64>() * scale.sqrt();
         let want = eval_at(&a, &[x_global]).unwrap();
         assert!((val - want).abs() < 1e-9, "{val} vs {want}");
     }

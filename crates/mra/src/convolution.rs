@@ -182,7 +182,11 @@ impl SeparatedConvolution {
         assert!(m >= 1 && t_min > 0.0 && t_max >= t_min);
         let terms: Vec<GaussianTerm> = (0..m)
             .map(|i| {
-                let f = if m == 1 { 0.0 } else { i as f64 / (m - 1) as f64 };
+                let f = if m == 1 {
+                    0.0
+                } else {
+                    i as f64 / (m - 1) as f64
+                };
                 GaussianTerm {
                     coeff: 1.0 / m as f64,
                     exponent: t_min * (t_max / t_min).powf(f),
@@ -274,8 +278,7 @@ impl SeparatedConvolution {
         {
             let cache = self.cache.lock();
             if let Some(t) = cache.get(&key) {
-                self.hits
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 return Arc::clone(t);
             }
         }
@@ -286,8 +289,7 @@ impl SeparatedConvolution {
         // cache, so hit/miss statistics stay deterministic under races.
         match cache.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
-                self.hits
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 Arc::clone(e.get())
             }
             std::collections::hash_map::Entry::Vacant(v) => {
@@ -348,12 +350,7 @@ impl SeparatedConvolution {
             return Arc::clone(cached);
         }
         let built = Arc::new(self.build_displacements(level));
-        Arc::clone(
-            self.disp_cache
-                .lock()
-                .entry(memo_level)
-                .or_insert(built),
-        )
+        Arc::clone(self.disp_cache.lock().entry(memo_level).or_insert(built))
     }
 
     fn build_displacements(&self, level: u8) -> Vec<Displacement> {

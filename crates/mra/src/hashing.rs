@@ -98,8 +98,7 @@ mod tests {
             if k.level() < 4 {
                 stack.extend(k.children());
             }
-            
-            
+
             seen.insert(bh.hash_one(k));
         }
         // All distinct (would be astronomically unlikely to collide).

@@ -85,7 +85,10 @@ impl Key {
     /// # Panics
     /// Panics if `which ≥ 2^d` or the child would exceed [`MAX_LEVEL`].
     pub fn child(&self, which: usize) -> Key {
-        assert!(which < self.num_children(), "child index {which} out of range");
+        assert!(
+            which < self.num_children(),
+            "child index {which} out of range"
+        );
         assert!(self.level < MAX_LEVEL, "cannot refine below MAX_LEVEL");
         let mut l = self.l;
         for i in 0..self.ndim() {
@@ -196,7 +199,10 @@ impl Key {
     /// The lower corner of the box in physical coordinates `[0,1]^d`.
     pub fn lower_corner(&self) -> Vec<f64> {
         let scale = (1u64 << self.level) as f64;
-        self.translations().iter().map(|&t| t as f64 / scale).collect()
+        self.translations()
+            .iter()
+            .map(|&t| t as f64 / scale)
+            .collect()
     }
 
     /// The side length of the box: `2^{-level}`.

@@ -102,8 +102,7 @@ impl CostPartitionMap {
         assert!(depth >= 1, "depth must be at least 1");
         // Weight per subtree root (the ancestor at `depth`, or the key
         // itself for shallower keys).
-        let mut weights: crate::hashing::FxHashMap<Key, u64> =
-            crate::hashing::FxHashMap::default();
+        let mut weights: crate::hashing::FxHashMap<Key, u64> = crate::hashing::FxHashMap::default();
         for (key, node) in tree.iter() {
             if !node.is_leaf() {
                 continue;
@@ -226,10 +225,7 @@ mod tests {
     fn subtree_map_depth1_uses_at_most_2d_owners() {
         let map = SubtreeMap::new(1);
         let keys = all_keys(3, 4);
-        let mut owners: Vec<usize> = keys
-            .iter()
-            .map(|k| map.owner(k, 1000))
-            .collect();
+        let mut owners: Vec<usize> = keys.iter().map(|k| map.owner(k, 1000)).collect();
         owners.sort_unstable();
         owners.dedup();
         assert!(
@@ -279,14 +275,18 @@ mod tests {
     #[test]
     fn cost_partition_keeps_subtrees_together() {
         use crate::synth::{synthesize_tree, SynthTreeParams};
-        let tree = synthesize_tree(2, 4, &SynthTreeParams {
-            target_leaves: 200,
-            centers: vec![vec![0.5, 0.5]],
-            width: 0.2,
-            level_decay: 0.5,
-            seed: 3,
-            with_coeffs: false,
-        });
+        let tree = synthesize_tree(
+            2,
+            4,
+            &SynthTreeParams {
+                target_leaves: 200,
+                centers: vec![vec![0.5, 0.5]],
+                width: 0.2,
+                level_decay: 0.5,
+                seed: 3,
+                with_coeffs: false,
+            },
+        );
         let map = CostPartitionMap::build(&tree, 2, 7);
         for (key, node) in tree.iter() {
             if node.is_leaf() && key.level() > 2 {

@@ -32,7 +32,11 @@ pub fn legendre(k: usize, x: f64, out: &mut [f64]) {
 fn legendre_deriv(n: usize, x: f64, pn: f64, pnm1: f64) -> f64 {
     if x.abs() >= 1.0 - 1e-14 {
         // Endpoint limit: P'_n(±1) = ±1^{n-1} n(n+1)/2; never hit by GL roots.
-        let s = if x > 0.0 { 1.0 } else { (-1.0f64).powi(n as i32 - 1) };
+        let s = if x > 0.0 {
+            1.0
+        } else {
+            (-1.0f64).powi(n as i32 - 1)
+        };
         return s * (n * (n + 1)) as f64 / 2.0;
     }
     (n as f64) * (pnm1 - x * pn) / (1.0 - x * x)
@@ -178,7 +182,11 @@ mod tests {
         let n = 7;
         let (x, w) = gauss_legendre(n);
         for p in 0..(2 * n) {
-            let got: f64 = x.iter().zip(&w).map(|(&xi, &wi)| wi * xi.powi(p as i32)).sum();
+            let got: f64 = x
+                .iter()
+                .zip(&w)
+                .map(|(&xi, &wi)| wi * xi.powi(p as i32))
+                .sum();
             let want = 1.0 / (p as f64 + 1.0);
             assert!((got - want).abs() < 1e-13, "p={p}: {got} vs {want}");
         }

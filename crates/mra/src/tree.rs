@@ -74,7 +74,10 @@ impl FunctionTree {
     /// # Panics
     /// Panics for unsupported `d` or `k == 0`.
     pub fn new(d: usize, k: usize) -> Self {
-        assert!((1..=MAX_DIMS).contains(&d), "unsupported dimensionality {d}");
+        assert!(
+            (1..=MAX_DIMS).contains(&d),
+            "unsupported dimensionality {d}"
+        );
         assert!(k >= 1, "polynomial order must be positive");
         FunctionTree {
             d,

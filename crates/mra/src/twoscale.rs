@@ -320,10 +320,7 @@ mod tests {
                         .map(|m| ts.w().at(&[r, m]) * ts.w().at(&[c, m]))
                         .sum();
                     let want = if r == c { 1.0 } else { 0.0 };
-                    assert!(
-                        (dot - want).abs() < 1e-11,
-                        "k={k}: WWᵀ[{r}][{c}] = {dot}"
-                    );
+                    assert!((dot - want).abs() < 1e-11, "k={k}: WWᵀ[{r}][{c}] = {dot}");
                 }
             }
         }
@@ -368,7 +365,11 @@ mod tests {
         let k = 3;
         let d = 3;
         let kids: Vec<Tensor> = (0..(1usize << d))
-            .map(|w| Tensor::from_fn(Shape::cube(d, k), |ix| (w * 100 + ix[0] * 9 + ix[1] * 3 + ix[2]) as f64))
+            .map(|w| {
+                Tensor::from_fn(Shape::cube(d, k), |ix| {
+                    (w * 100 + ix[0] * 9 + ix[1] * 3 + ix[2]) as f64
+                })
+            })
             .collect();
         let refs: Vec<Option<&Tensor>> = kids.iter().map(Some).collect();
         let block = gather_children(k, d, &refs);

@@ -4,7 +4,9 @@ use madness_mra::key::Key;
 use madness_mra::ops::{compress, reconstruct, sum_down, truncate};
 use madness_mra::synth::{synthesize_tree, SynthTreeParams};
 use madness_mra::tree::TreeForm;
-use madness_mra::twoscale::{d_norm, extract_s_corner, gather_children, scatter_children, TwoScale};
+use madness_mra::twoscale::{
+    d_norm, extract_s_corner, gather_children, scatter_children, TwoScale,
+};
 use madness_tensor::{Shape, Tensor};
 use proptest::prelude::*;
 

@@ -121,6 +121,16 @@ impl<T> Batcher<T> {
     pub fn stats(&self) -> (u64, u64, u64) {
         (self.pushed, self.flushed_by_size, self.flushed_by_timer)
     }
+
+    /// Dumps the flush-cause statistics into a trace recorder's counter
+    /// registry (`batch_pushed` / `batch_flush_size` /
+    /// `batch_flush_timer`). Deltas accumulate, so several batchers can
+    /// report into one registry.
+    pub fn record_stats<R: madness_trace::Recorder>(&self, rec: &mut R) {
+        rec.add("batch_pushed", self.pushed);
+        rec.add("batch_flush_size", self.flushed_by_size);
+        rec.add("batch_flush_timer", self.flushed_by_timer);
+    }
 }
 
 #[cfg(test)]
@@ -167,8 +177,20 @@ mod tests {
             max_batch: 10,
             timer: SimTime::ZERO,
         });
-        b.push(TaskKind { op: 1, data_hash: 10 }, "k10");
-        b.push(TaskKind { op: 1, data_hash: 20 }, "k20");
+        b.push(
+            TaskKind {
+                op: 1,
+                data_hash: 10,
+            },
+            "k10",
+        );
+        b.push(
+            TaskKind {
+                op: 1,
+                data_hash: 20,
+            },
+            "k20",
+        );
         assert_eq!(b.pending_kinds(), 2);
     }
 

@@ -131,8 +131,20 @@ mod tests {
 
     #[test]
     fn split_extremes() {
-        assert_eq!(SplitPlan::all_cpu(7), SplitPlan { cpu_tasks: 7, gpu_tasks: 0 });
-        assert_eq!(SplitPlan::all_gpu(7), SplitPlan { cpu_tasks: 0, gpu_tasks: 7 });
+        assert_eq!(
+            SplitPlan::all_cpu(7),
+            SplitPlan {
+                cpu_tasks: 7,
+                gpu_tasks: 0
+            }
+        );
+        assert_eq!(
+            SplitPlan::all_gpu(7),
+            SplitPlan {
+                cpu_tasks: 0,
+                gpu_tasks: 7
+            }
+        );
         let p = SplitPlan::for_times(10, 5.0, 0.0);
         assert_eq!(p.cpu_tasks, 0);
     }

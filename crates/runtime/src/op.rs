@@ -40,11 +40,7 @@ pub trait BatchedOp: Sync {
 /// thread (one batch = one unit of scheduled work, mirroring how one
 /// GPU stream runs one kernel; [`crate::pool::WorkerPool`] serves the
 /// long-lived pre/postprocess threads of the full pipeline instead).
-pub fn run_batched<O>(
-    op: &O,
-    inputs: Vec<O::Input>,
-    config: BatcherConfig,
-) -> Vec<O::Output>
+pub fn run_batched<O>(op: &O, inputs: Vec<O::Input>, config: BatcherConfig) -> Vec<O::Output>
 where
     O: BatchedOp,
     O::Output: 'static,

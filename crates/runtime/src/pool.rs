@@ -62,9 +62,7 @@ impl WorkerPool {
                                 }
                             }
                             let _done = Done(&shared);
-                            let _ = std::panic::catch_unwind(
-                                std::panic::AssertUnwindSafe(job),
-                            );
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                         }
                     })
                     .expect("failed to spawn worker")

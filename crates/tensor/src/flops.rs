@@ -24,9 +24,7 @@ pub fn transform_flops(d: usize, k: usize) -> u64 {
 pub fn transform_rr_flops(d: usize, k: usize, krs: &[usize]) -> u64 {
     assert_eq!(krs.len(), d, "need one effective rank per dimension");
     let fused = (k as u64).pow((d as u32) - 1) as usize;
-    krs.iter()
-        .map(|&kr| mtxmq_flops(fused, k, kr.min(k)))
-        .sum()
+    krs.iter().map(|&kr| mtxmq_flops(fused, k, kr.min(k))).sum()
 }
 
 /// FLOPs of one full rank-`m` Apply task: `m` separated-rank terms, each a

@@ -116,13 +116,7 @@ pub fn mtxmq_rr_acc(
 
 /// Reference (naive, obviously-correct) implementation used by tests and
 /// property checks.
-pub fn mtxmq_reference(
-    dimi: usize,
-    dimj: usize,
-    dimk: usize,
-    a: &[f64],
-    b: &[f64],
-) -> Vec<f64> {
+pub fn mtxmq_reference(dimi: usize, dimj: usize, dimk: usize, a: &[f64], b: &[f64]) -> Vec<f64> {
     let mut c = vec![0.0; dimi * dimj];
     for i in 0..dimi {
         for j in 0..dimj {

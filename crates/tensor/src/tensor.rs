@@ -70,13 +70,16 @@ impl Tensor {
 
     /// The identity matrix of size `k` (rank-2).
     pub fn identity(k: usize) -> Self {
-        Tensor::from_fn(Shape::matrix(k, k), |ix| {
-            if ix[0] == ix[1] {
-                1.0
-            } else {
-                0.0
-            }
-        })
+        Tensor::from_fn(
+            Shape::matrix(k, k),
+            |ix| {
+                if ix[0] == ix[1] {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        )
     }
 
     /// The tensor's shape.

@@ -1,9 +1,7 @@
 //! Property-based tests for the tensor kernels.
 
 use madness_tensor::mtxmq::mtxmq_reference;
-use madness_tensor::{
-    general_transform, mtxmq, mtxmq_acc, mtxmq_rr, transform, Shape, Tensor,
-};
+use madness_tensor::{general_transform, mtxmq, mtxmq_acc, mtxmq_rr, transform, Shape, Tensor};
 use proptest::prelude::*;
 
 fn close(a: &[f64], b: &[f64], tol: f64) -> bool {

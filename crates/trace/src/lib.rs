@@ -1,0 +1,470 @@
+//! Structured tracing and metrics for the madness-rs simulators.
+//!
+//! The simulators (`madness-gpusim`, `madness-cluster`) account time on
+//! simulated resources; this crate lets them *journal* that accounting —
+//! which pipeline stage held which resource lane over which simulated
+//! interval — and aggregate counters/gauges, without perturbing any of
+//! the computed timings.
+//!
+//! Three pieces:
+//!
+//! * a [`Recorder`] trait the instrumented hot paths are generic over.
+//!   [`NullRecorder`] compiles to nothing (`Recorder::ENABLED` is an
+//!   associated `const`, so recording branches fold away), which is how
+//!   the untraced entry points keep bit-identical results and zero cost;
+//! * [`MemRecorder`], an in-memory journal of [`Span`]s/[`Event`]s plus a
+//!   [`Metrics`] registry (monotonic counters, high-water-mark gauges,
+//!   and the dispatcher's per-batch split-ratio history), with JSON
+//!   export/import ([`MemRecorder::to_json`] / [`MemRecorder::from_json`]);
+//! * [`StageBreakdown`], a sweep-line attribution of a journal's spans
+//!   that charges every simulated nanosecond of the run to exactly one
+//!   [`Stage`], so per-stage utilization sums to the run's total.
+//!
+//! Timestamps are plain `u64` nanoseconds (the representation of the
+//! simulators' `SimTime`); this crate deliberately has no dependencies so
+//! every other crate in the workspace can use it without cycles.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod json;
+mod timeline;
+
+pub use timeline::StageBreakdown;
+
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------
+// Stages
+// ---------------------------------------------------------------------
+
+/// The pipeline stage a journal record belongs to.
+///
+/// The first seven are the stages of the paper's Apply pipeline (Fig. 3:
+/// preprocess → batch → dispatch → transfer/launch ∥ CPU compute →
+/// postprocess); the cache and network stages tag point events from the
+/// device's write-once `h` cache and the interconnect model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Data-intensive input resolution on the CPU data threads.
+    Preprocess,
+    /// Accumulation of compute tasks into per-kind batches.
+    Batch,
+    /// The dispatcher thread packing a batch into transfer buffers.
+    Dispatch,
+    /// Host↔device DMA (including the one-time page-lock of the pool).
+    Transfer,
+    /// Kernel execution on a GPU stream.
+    KernelLaunch,
+    /// Compute-intensive work on the CPU worker threads.
+    CpuCompute,
+    /// Data-intensive result accumulation on the CPU data threads.
+    Postprocess,
+    /// Operator block found resident in the device cache.
+    CacheHit,
+    /// Operator block absent from the device cache (must transfer).
+    CacheMiss,
+    /// Operator block evicted to stay within the device budget.
+    CacheEvict,
+    /// Remote accumulation traffic injected into the network.
+    NetSend,
+    /// Remote accumulation traffic received from the network.
+    NetRecv,
+}
+
+impl Stage {
+    /// Every stage, in declaration order.
+    pub const ALL: [Stage; 12] = [
+        Stage::Preprocess,
+        Stage::Batch,
+        Stage::Dispatch,
+        Stage::Transfer,
+        Stage::KernelLaunch,
+        Stage::CpuCompute,
+        Stage::Postprocess,
+        Stage::CacheHit,
+        Stage::CacheMiss,
+        Stage::CacheEvict,
+        Stage::NetSend,
+        Stage::NetRecv,
+    ];
+
+    /// Stable name used in the JSON journal and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Preprocess => "Preprocess",
+            Stage::Batch => "Batch",
+            Stage::Dispatch => "Dispatch",
+            Stage::Transfer => "Transfer",
+            Stage::KernelLaunch => "KernelLaunch",
+            Stage::CpuCompute => "CpuCompute",
+            Stage::Postprocess => "Postprocess",
+            Stage::CacheHit => "CacheHit",
+            Stage::CacheMiss => "CacheMiss",
+            Stage::CacheEvict => "CacheEvict",
+            Stage::NetSend => "NetSend",
+            Stage::NetRecv => "NetRecv",
+        }
+    }
+
+    /// Inverse of [`Stage::name`].
+    pub fn from_name(name: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Index into [`Stage::ALL`].
+    pub(crate) fn index(self) -> usize {
+        Stage::ALL.iter().position(|s| *s == self).expect("in ALL")
+    }
+
+    /// Attribution priority: when several stages overlap a simulated
+    /// instant, the instant is charged to the scarcest resource — device
+    /// work first, then the single dispatcher thread, then CPU compute,
+    /// then the data threads. Higher wins.
+    pub(crate) fn priority(self) -> u8 {
+        match self {
+            Stage::KernelLaunch => 11,
+            Stage::Transfer => 10,
+            Stage::Dispatch => 9,
+            Stage::CpuCompute => 8,
+            Stage::Preprocess => 7,
+            Stage::Postprocess => 6,
+            Stage::Batch => 5,
+            Stage::NetSend => 4,
+            Stage::NetRecv => 3,
+            Stage::CacheMiss => 2,
+            Stage::CacheHit => 1,
+            Stage::CacheEvict => 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Journal records
+// ---------------------------------------------------------------------
+
+/// A stage holding a resource lane over a simulated interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Pipeline stage.
+    pub stage: Stage,
+    /// Simulated start, nanoseconds.
+    pub start_ns: u64,
+    /// Simulated end, nanoseconds (`end_ns >= start_ns`).
+    pub end_ns: u64,
+    /// Which lane of the stage's resource (data thread, stream, …).
+    pub lane: u32,
+}
+
+impl Span {
+    /// Span length in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// An instantaneous occurrence carrying one value (bytes, task count, …).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Pipeline stage.
+    pub stage: Stage,
+    /// Simulated timestamp, nanoseconds.
+    pub at_ns: u64,
+    /// Stage-specific payload.
+    pub value: u64,
+}
+
+/// One journal entry, in emission order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Record {
+    /// An interval record.
+    Span(Span),
+    /// A point record.
+    Event(Event),
+}
+
+// ---------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------
+
+/// Aggregated counters, gauges and the dispatcher split history.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    k_history: Vec<f64>,
+}
+
+impl Metrics {
+    /// Adds `delta` to the named monotonic counter.
+    pub fn add(&mut self, counter: &str, delta: u64) {
+        *self.counters.entry(counter.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Raises the named gauge to `value` if it is a new high-water mark.
+    pub fn gauge_hwm(&mut self, gauge: &str, value: u64) {
+        let g = self.gauges.entry(gauge.to_owned()).or_insert(0);
+        *g = (*g).max(value);
+    }
+
+    /// Appends one dispatcher split ratio `k*` to the history.
+    pub fn observe_split(&mut self, k: f64) {
+        self.k_history.push(k);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge (0 if never touched).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// The dispatcher's per-batch `k*` history, in batch order.
+    pub fn k_history(&self) -> &[f64] {
+        &self.k_history
+    }
+
+    /// Mean of the split history (0 when empty).
+    pub fn mean_split(&self) -> f64 {
+        if self.k_history.is_empty() {
+            0.0
+        } else {
+            self.k_history.iter().sum::<f64>() / self.k_history.len() as f64
+        }
+    }
+
+    /// `h`-cache hit rate from the `cache_hit`/`cache_miss` counters
+    /// (`None` before any cache access).
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let h = self.counter("cache_hit");
+        let m = self.counter("cache_miss");
+        if h + m == 0 {
+            None
+        } else {
+            Some(h as f64 / (h + m) as f64)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recorders
+// ---------------------------------------------------------------------
+
+/// Sink for journal records and metrics, threaded through the simulators'
+/// hot paths as a generic parameter.
+///
+/// Call sites guard every emission with `if R::ENABLED { … }`; with
+/// [`NullRecorder`] that constant is `false`, so the instrumented code
+/// monomorphizes to exactly the uninstrumented code.
+pub trait Recorder {
+    /// Whether this recorder keeps anything at all.
+    const ENABLED: bool;
+
+    /// Journals an interval record.
+    fn span(&mut self, stage: Stage, start_ns: u64, end_ns: u64, lane: u32);
+
+    /// Journals a point record.
+    fn event(&mut self, stage: Stage, at_ns: u64, value: u64);
+
+    /// Adds to a monotonic counter.
+    fn add(&mut self, counter: &str, delta: u64);
+
+    /// Raises a high-water-mark gauge.
+    fn gauge_hwm(&mut self, gauge: &str, value: u64);
+
+    /// Observes one dispatcher split ratio.
+    fn observe_split(&mut self, k: f64);
+}
+
+/// The disabled recorder: every method is a no-op and `ENABLED = false`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn span(&mut self, _: Stage, _: u64, _: u64, _: u32) {}
+    #[inline(always)]
+    fn event(&mut self, _: Stage, _: u64, _: u64) {}
+    #[inline(always)]
+    fn add(&mut self, _: &str, _: u64) {}
+    #[inline(always)]
+    fn gauge_hwm(&mut self, _: &str, _: u64) {}
+    #[inline(always)]
+    fn observe_split(&mut self, _: f64) {}
+}
+
+/// In-memory recorder: journal in emission order + metrics registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MemRecorder {
+    journal: Vec<Record>,
+    metrics: Metrics,
+}
+
+impl MemRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        MemRecorder::default()
+    }
+
+    /// The journal, in emission order.
+    pub fn journal(&self) -> &[Record] {
+        &self.journal
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// All interval records, in emission order.
+    pub fn spans(&self) -> impl Iterator<Item = &Span> {
+        self.journal.iter().filter_map(|r| match r {
+            Record::Span(s) => Some(s),
+            Record::Event(_) => None,
+        })
+    }
+
+    /// All point records, in emission order.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.journal.iter().filter_map(|r| match r {
+            Record::Event(e) => Some(e),
+            Record::Span(_) => None,
+        })
+    }
+
+    /// Attributes `[0, total_ns)` to stages from this journal's spans.
+    pub fn breakdown(&self, total_ns: u64) -> StageBreakdown {
+        StageBreakdown::from_spans(self.spans(), total_ns)
+    }
+
+    /// Serializes journal + metrics to the JSON timeline format.
+    pub fn to_json(&self) -> String {
+        json::export(self)
+    }
+
+    /// Parses a JSON timeline back into a recorder.
+    pub fn from_json(text: &str) -> Result<MemRecorder, json::JsonError> {
+        json::import(text)
+    }
+}
+
+impl Recorder for MemRecorder {
+    const ENABLED: bool = true;
+
+    fn span(&mut self, stage: Stage, start_ns: u64, end_ns: u64, lane: u32) {
+        debug_assert!(end_ns >= start_ns, "span ends before it starts");
+        self.journal.push(Record::Span(Span {
+            stage,
+            start_ns,
+            end_ns,
+            lane,
+        }));
+    }
+
+    fn event(&mut self, stage: Stage, at_ns: u64, value: u64) {
+        self.journal.push(Record::Event(Event {
+            stage,
+            at_ns,
+            value,
+        }));
+    }
+
+    fn add(&mut self, counter: &str, delta: u64) {
+        self.metrics.add(counter, delta);
+    }
+
+    fn gauge_hwm(&mut self, gauge: &str, value: u64) {
+        self.metrics.gauge_hwm(gauge, value);
+    }
+
+    fn observe_split(&mut self, k: f64) {
+        self.metrics.observe_split(k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_round_trip() {
+        for s in Stage::ALL {
+            assert_eq!(Stage::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Stage::from_name("NotAStage"), None);
+    }
+
+    #[test]
+    fn counters_aggregate_across_sources() {
+        let mut rec = MemRecorder::new();
+        rec.add("cache_hit", 3);
+        rec.add("cache_miss", 1);
+        rec.add("cache_hit", 7);
+        assert_eq!(rec.metrics().counter("cache_hit"), 10);
+        assert_eq!(rec.metrics().counter("cache_miss"), 1);
+        assert_eq!(rec.metrics().counter("never_touched"), 0);
+        assert_eq!(rec.metrics().cache_hit_rate(), Some(10.0 / 11.0));
+    }
+
+    #[test]
+    fn gauge_keeps_high_water_mark() {
+        let mut rec = MemRecorder::new();
+        rec.gauge_hwm("pool", 100);
+        rec.gauge_hwm("pool", 40);
+        rec.gauge_hwm("pool", 250);
+        rec.gauge_hwm("pool", 5);
+        assert_eq!(rec.metrics().gauge("pool"), 250);
+    }
+
+    #[test]
+    fn split_history_preserves_order_and_mean() {
+        let mut rec = MemRecorder::new();
+        for k in [0.25, 0.5, 0.75] {
+            rec.observe_split(k);
+        }
+        assert_eq!(rec.metrics().k_history(), &[0.25, 0.5, 0.75]);
+        assert!((rec.metrics().mean_split() - 0.5).abs() < 1e-15);
+        assert_eq!(Metrics::default().mean_split(), 0.0);
+    }
+
+    #[test]
+    fn journal_preserves_emission_order() {
+        let mut rec = MemRecorder::new();
+        rec.span(Stage::Preprocess, 0, 10, 0);
+        rec.event(Stage::Batch, 10, 60);
+        rec.span(Stage::KernelLaunch, 10, 30, 2);
+        assert_eq!(rec.journal().len(), 3);
+        assert_eq!(rec.spans().count(), 2);
+        assert_eq!(rec.events().count(), 1);
+        let Record::Event(e) = rec.journal()[1] else {
+            panic!("second record must be the event");
+        };
+        assert_eq!((e.stage, e.at_ns, e.value), (Stage::Batch, 10, 60));
+    }
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        assert!(!NullRecorder::ENABLED);
+        assert!(MemRecorder::ENABLED);
+        // The no-op methods must be callable without effect.
+        let mut n = NullRecorder;
+        n.span(Stage::Transfer, 0, 5, 0);
+        n.add("x", 1);
+        n.observe_split(0.5);
+    }
+}

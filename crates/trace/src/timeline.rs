@@ -1,0 +1,186 @@
+//! Sweep-line attribution of a span journal to pipeline stages.
+
+use crate::{Span, Stage};
+
+/// Per-stage attribution of a run's simulated timeline.
+///
+/// Every nanosecond of `[0, total_ns)` is charged to exactly one stage:
+/// where spans overlap, the highest-priority stage wins (device work
+/// first — see `Stage::priority`); instants covered by no span at all go
+/// to [`StageBreakdown::unattributed_ns`]. By construction the per-stage
+/// times plus the unattributed residue sum to `total_ns` exactly, which
+/// is what lets `tablegen trace` print a utilization table whose rows add
+/// up to the `NodeReport` total.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageBreakdown {
+    per_stage_ns: [u64; Stage::ALL.len()],
+    /// Simulated time covered by no span.
+    pub unattributed_ns: u64,
+    /// The attributed window (the run's end-to-end time).
+    pub total_ns: u64,
+}
+
+impl StageBreakdown {
+    /// Attributes `[0, total_ns)` using the given spans (clipped to the
+    /// window; zero-length spans are ignored).
+    pub fn from_spans<'a>(spans: impl IntoIterator<Item = &'a Span>, total_ns: u64) -> Self {
+        // Boundary events: +1/-1 per stage at span edges.
+        let mut edges: Vec<(u64, i32, usize)> = Vec::new();
+        for s in spans {
+            let start = s.start_ns.min(total_ns);
+            let end = s.end_ns.min(total_ns);
+            if end > start {
+                edges.push((start, 1, s.stage.index()));
+                edges.push((end, -1, s.stage.index()));
+            }
+        }
+        edges.sort_unstable_by_key(|&(t, delta, _)| (t, -delta));
+
+        let mut per_stage_ns = [0u64; Stage::ALL.len()];
+        let mut unattributed_ns = 0u64;
+        let mut active = [0i64; Stage::ALL.len()];
+        let mut cursor = 0u64;
+        let mut i = 0usize;
+        while i < edges.len() {
+            let t = edges[i].0;
+            // Charge [cursor, t) to the highest-priority active stage.
+            if t > cursor {
+                match top_stage(&active) {
+                    Some(stage) => per_stage_ns[stage.index()] += t - cursor,
+                    None => unattributed_ns += t - cursor,
+                }
+                cursor = t;
+            }
+            while i < edges.len() && edges[i].0 == t {
+                active[edges[i].2] += edges[i].1 as i64;
+                i += 1;
+            }
+        }
+        if total_ns > cursor {
+            match top_stage(&active) {
+                Some(stage) => per_stage_ns[stage.index()] += total_ns - cursor,
+                None => unattributed_ns += total_ns - cursor,
+            }
+        }
+        StageBreakdown {
+            per_stage_ns,
+            unattributed_ns,
+            total_ns,
+        }
+    }
+
+    /// Nanoseconds attributed to `stage`.
+    pub fn stage_ns(&self, stage: Stage) -> u64 {
+        self.per_stage_ns[stage.index()]
+    }
+
+    /// `(stage, ns)` for every stage with nonzero attribution, in
+    /// priority order (device work first).
+    pub fn nonzero(&self) -> Vec<(Stage, u64)> {
+        let mut rows: Vec<(Stage, u64)> = Stage::ALL
+            .into_iter()
+            .map(|s| (s, self.stage_ns(s)))
+            .filter(|&(_, ns)| ns > 0)
+            .collect();
+        rows.sort_by_key(|&(s, _)| std::cmp::Reverse(s.priority()));
+        rows
+    }
+
+    /// Sum of the per-stage times plus the unattributed residue; always
+    /// equals [`StageBreakdown::total_ns`].
+    pub fn attributed_total_ns(&self) -> u64 {
+        self.per_stage_ns.iter().sum::<u64>() + self.unattributed_ns
+    }
+}
+
+fn top_stage(active: &[i64; Stage::ALL.len()]) -> Option<Stage> {
+    Stage::ALL
+        .into_iter()
+        .filter(|s| active[s.index()] > 0)
+        .max_by_key(|s| s.priority())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(stage: Stage, start_ns: u64, end_ns: u64) -> Span {
+        Span {
+            stage,
+            start_ns,
+            end_ns,
+            lane: 0,
+        }
+    }
+
+    #[test]
+    fn disjoint_spans_attribute_directly() {
+        let spans = [
+            span(Stage::Preprocess, 0, 10),
+            span(Stage::KernelLaunch, 10, 25),
+            span(Stage::Postprocess, 25, 30),
+        ];
+        let b = StageBreakdown::from_spans(&spans, 30);
+        assert_eq!(b.stage_ns(Stage::Preprocess), 10);
+        assert_eq!(b.stage_ns(Stage::KernelLaunch), 15);
+        assert_eq!(b.stage_ns(Stage::Postprocess), 5);
+        assert_eq!(b.unattributed_ns, 0);
+        assert_eq!(b.attributed_total_ns(), 30);
+    }
+
+    #[test]
+    fn overlap_goes_to_higher_priority_stage() {
+        // CPU compute runs under a longer kernel span: the overlap is
+        // charged to the kernel, the CPU keeps only its solo tail.
+        let spans = [
+            span(Stage::KernelLaunch, 0, 10),
+            span(Stage::CpuCompute, 5, 20),
+        ];
+        let b = StageBreakdown::from_spans(&spans, 20);
+        assert_eq!(b.stage_ns(Stage::KernelLaunch), 10);
+        assert_eq!(b.stage_ns(Stage::CpuCompute), 10);
+        assert_eq!(b.attributed_total_ns(), 20);
+    }
+
+    #[test]
+    fn gaps_and_tail_are_unattributed() {
+        let spans = [span(Stage::Dispatch, 2, 4)];
+        let b = StageBreakdown::from_spans(&spans, 10);
+        assert_eq!(b.stage_ns(Stage::Dispatch), 2);
+        assert_eq!(b.unattributed_ns, 8); // [0,2) and [4,10)
+        assert_eq!(b.attributed_total_ns(), 10);
+    }
+
+    #[test]
+    fn spans_clip_to_the_window() {
+        let spans = [span(Stage::Transfer, 5, 100)];
+        let b = StageBreakdown::from_spans(&spans, 10);
+        assert_eq!(b.stage_ns(Stage::Transfer), 5);
+        assert_eq!(b.attributed_total_ns(), 10);
+    }
+
+    #[test]
+    fn many_lanes_of_one_stage_count_once() {
+        // Four parallel preprocess lanes over the same interval: the
+        // wall-clock charge is the interval, not 4× it.
+        let spans: Vec<Span> = (0..4).map(|_| span(Stage::Preprocess, 0, 10)).collect();
+        let b = StageBreakdown::from_spans(&spans, 10);
+        assert_eq!(b.stage_ns(Stage::Preprocess), 10);
+        assert_eq!(b.attributed_total_ns(), 10);
+    }
+
+    #[test]
+    fn nonzero_rows_follow_priority_order() {
+        let spans = [
+            span(Stage::Postprocess, 20, 30),
+            span(Stage::KernelLaunch, 0, 10),
+            span(Stage::Dispatch, 10, 20),
+        ];
+        let rows = StageBreakdown::from_spans(&spans, 30).nonzero();
+        let stages: Vec<Stage> = rows.iter().map(|&(s, _)| s).collect();
+        assert_eq!(
+            stages,
+            vec![Stage::KernelLaunch, Stage::Dispatch, Stage::Postprocess]
+        );
+    }
+}

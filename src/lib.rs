@@ -43,3 +43,4 @@ pub use madness_gpusim as gpusim;
 pub use madness_mra as mra;
 pub use madness_runtime as runtime;
 pub use madness_tensor as tensor;
+pub use madness_trace as trace;

@@ -1,0 +1,157 @@
+//! Offline drop-in subset of the [parking_lot](https://docs.rs/parking_lot)
+//! API, backed by `std::sync`.
+//!
+//! The workspace uses `Mutex::lock()` (no poison `Result`) and
+//! `Condvar::wait(&mut MutexGuard)`. Both are reproduced here over the
+//! standard-library primitives: poisoning is swallowed (a panicking
+//! holder does not poison the lock, matching parking_lot), and the guard
+//! wraps the std guard in an `Option` so `Condvar::wait` can take it,
+//! block on the std condvar, and put the reacquired guard back — no
+//! `unsafe` required.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+
+/// A mutual-exclusion lock whose `lock()` never returns a poison error.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Some` except transiently inside `Condvar::wait`.
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking the current thread until it is free.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            guard: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// A condition variable compatible with [`Mutex`]/[`MutexGuard`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guard's lock and blocks until notified;
+    /// the lock is reacquired before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.guard.take().expect("guard present outside wait");
+        let reacquired = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.guard = Some(reacquired);
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all blocked waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_guards_data() {
+        let m = Mutex::new(0u64);
+        *m.lock() += 5;
+        assert_eq!(*m.lock(), 5);
+    }
+
+    #[test]
+    fn panicking_holder_does_not_poison() {
+        let m = Arc::new(Mutex::new(1u64));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn condvar_wait_and_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let woke = Arc::new(AtomicBool::new(false));
+        let woke2 = Arc::clone(&woke);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut done = lock.lock();
+            while !*done {
+                cv.wait(&mut done);
+            }
+            woke2.store(true, Ordering::SeqCst);
+        });
+        {
+            let (lock, cv) = &*pair;
+            let mut done = lock.lock();
+            *done = true;
+            cv.notify_all();
+        }
+        waiter.join().unwrap();
+        assert!(woke.load(Ordering::SeqCst));
+    }
+}

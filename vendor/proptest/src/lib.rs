@@ -1,0 +1,460 @@
+//! Offline drop-in subset of the [proptest](https://docs.rs/proptest)
+//! property-testing API.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! vendors the exact surface its test suites use: the `proptest!` macro
+//! with `#![proptest_config(ProptestConfig::with_cases(N))]`, range and
+//! tuple strategies, `any::<u64>()`, `Just`, `prop_oneof!`, `prop_map`,
+//! `proptest::collection::vec`, and the `prop_assert!`/`prop_assert_eq!`
+//! assertion macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * cases are generated from a fixed per-test seed (FNV-1a of the test
+//!   path), so runs are fully deterministic and need no
+//!   `proptest-regressions` persistence;
+//! * there is no shrinking — the failing inputs are printed as-is;
+//! * `.proptest-regressions` files are *not* replayed (their minimized
+//!   cases should be pinned as explicit `#[test]`s instead).
+
+#![forbid(unsafe_code)]
+
+/// Test-case driver: configuration, RNG, and failure type.
+pub mod test_runner {
+    /// Run configuration; only `cases` is honored.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property case (carries the assertion message).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        /// Human-readable failure description.
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure from a message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic splitmix64 generator seeded from the test path.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test's fully qualified name.
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a, then ensure a nonzero state.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { state: h | 1 }
+        }
+
+        /// Next raw 64-bit value (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// Generates values of `Self::Value` from a seeded RNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: std::fmt::Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            T: std::fmt::Debug,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        T: std::fmt::Debug,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among same-typed strategies (`prop_oneof!`).
+    #[derive(Clone, Debug)]
+    pub struct Union<S> {
+        arms: Vec<S>,
+    }
+
+    impl<S: Strategy> Union<S> {
+        /// Builds a union over `arms` (must be non-empty).
+        pub fn new(arms: Vec<S>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<S: Strategy> Strategy for Union<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            rng.next_u64() as u32
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — the unconstrained strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec`s with element strategy and length range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// A `Vec` of `len ∈ range` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Declares property tests; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let inputs = ::std::format!(
+                        concat!($("  ", stringify!($arg), " = {:?}\n",)+),
+                        $(&$arg,)+
+                    );
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\nminimal reproduction inputs (no shrinking):\n{}",
+                            case + 1,
+                            config.cases,
+                            e,
+                            inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among listed strategies (all arms one type here).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($arm),+])
+    };
+}
+
+/// Asserts a condition inside `proptest!`, reporting generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`, reporting both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            left,
+                            right
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("x::y");
+        let mut b = TestRng::from_name("x::y");
+        let mut c = TestRng::from_name("x::z");
+        let (va, vb, vc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("bounds");
+        for _ in 0..1000 {
+            let u = Strategy::generate(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&u));
+            let i = Strategy::generate(&(-5i64..7), &mut rng);
+            assert!((-5..7).contains(&i));
+            let f = Strategy::generate(&(-2.0f64..3.0), &mut rng);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let mut rng = TestRng::from_name("vecs");
+        for _ in 0..200 {
+            let v = Strategy::generate(&crate::collection::vec(0u64..10, 1..9), &mut rng);
+            assert!((1..9).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_runs_and_maps(
+            pair in (1usize..5, 0u64..100).prop_map(|(a, b)| (a * 2, b)),
+            flag in prop_oneof![Just(true), Just(false)],
+        ) {
+            prop_assert!(pair.0 % 2 == 0, "mapped value {} must be even", pair.0);
+            prop_assert!(pair.1 < 100);
+            prop_assert_eq!(flag, flag);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_inputs() {
+        mod failing {
+            use crate::prelude::*;
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                // Deliberately no #[test] attribute: invoked manually so
+                // the harness does not count this as a failing test.
+                fn always_fails(x in 0u64..10) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            pub fn run() {
+                always_fails();
+            }
+        }
+        let err = std::panic::catch_unwind(failing::run).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("x ="), "missing inputs in: {msg}");
+    }
+}

@@ -1,0 +1,327 @@
+//! Offline drop-in subset of the [rayon](https://docs.rs/rayon) API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *exact* parallel-iterator surface it uses:
+//! `slice.par_iter()` followed by `map`, `filter_map`, `map_init`, then
+//! `collect()` or rayon's two-argument `reduce(identity, op)`.
+//!
+//! Work is executed on scoped `std` threads, chunked across the
+//! available cores. A global in-flight budget keeps recursive callers
+//! (e.g. tree projection, which calls `par_iter` from inside a parallel
+//! job) from spawning an unbounded number of threads: once the budget is
+//! exhausted, inner calls degrade to sequential execution on the calling
+//! thread. Results are always concatenated in input order, so the
+//! output is deterministic and identical to sequential execution.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Everything user code is expected to `use rayon::prelude::*;` for.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Global count of worker threads currently spawned by this shim.
+static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+fn max_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` over `items`, splitting into per-thread chunks when the
+/// thread budget allows, and returns the per-item results in order.
+fn run_chunked<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let cap = max_workers();
+    let want = items.len().min(cap).saturating_sub(1);
+    // Parallelism budget: claim extra worker slots if any are free.
+    let claimed = if want > 0 {
+        let prev = ACTIVE_WORKERS.fetch_add(want, Ordering::AcqRel);
+        if prev >= cap {
+            ACTIVE_WORKERS.fetch_sub(want, Ordering::AcqRel);
+            0
+        } else {
+            want
+        }
+    } else {
+        0
+    };
+    if claimed == 0 {
+        return items.iter().map(f).collect();
+    }
+    let threads = claimed + 1;
+    let chunk = items.len().div_ceil(threads);
+    let out = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(|| c.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            out.extend(h.join().expect("rayon shim worker panicked"));
+        }
+        out
+    });
+    ACTIVE_WORKERS.fetch_sub(claimed, Ordering::AcqRel);
+    out
+}
+
+/// `collection.par_iter()` — entry point matching rayon's trait of the
+/// same name for `&Vec<T>` / `&[T]`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Reference item type.
+    type Item: Sync + 'a;
+    /// Starts a parallel iterator over `&self`'s items.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Maps each item through `f`, keeping `Some` results (in order).
+    pub fn filter_map<R, F>(self, f: F) -> ParFilterMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> Option<R> + Sync,
+    {
+        ParFilterMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// rayon's `map_init`: each worker thread builds one scratch value
+    /// with `init` and reuses it across the items it processes.
+    pub fn map_init<S, R, I, F>(self, init: I, f: F) -> ParMapInit<'a, T, I, F>
+    where
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &'a T) -> R + Sync,
+    {
+        ParMapInit {
+            items: self.items,
+            init,
+            f,
+        }
+    }
+}
+
+/// Result of [`ParIter::map`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Collects the mapped items, preserving input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_chunked(self.items, &self.f).into_iter().collect()
+    }
+
+    /// rayon's two-argument reduce: folds the mapped items with `op`,
+    /// starting from `identity()`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        run_chunked(self.items, &self.f)
+            .into_iter()
+            .fold(identity(), op)
+    }
+}
+
+/// Result of [`ParIter::filter_map`].
+pub struct ParFilterMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParFilterMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> Option<R> + Sync,
+{
+    /// Collects the `Some` results, preserving input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_chunked(self.items, &self.f)
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Flattens `Some(iterable)` results into their items, in order.
+    pub fn flatten(self) -> ParFlatten<'a, T, F>
+    where
+        R: IntoIterator,
+    {
+        ParFlatten {
+            items: self.items,
+            f: self.f,
+        }
+    }
+}
+
+/// Result of [`ParFilterMap::flatten`].
+pub struct ParFlatten<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParFlatten<'a, T, F>
+where
+    T: Sync,
+    R: IntoIterator + Send,
+    F: Fn(&'a T) -> Option<R> + Sync,
+{
+    /// Collects the flattened items, preserving input order.
+    pub fn collect<C: FromIterator<R::Item>>(self) -> C {
+        run_chunked(self.items, &self.f)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .collect()
+    }
+}
+
+/// Result of [`ParIter::map_init`].
+pub struct ParMapInit<'a, T, I, F> {
+    items: &'a [T],
+    init: I,
+    f: F,
+}
+
+impl<'a, T, S, R, I, F> ParMapInit<'a, T, I, F>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &'a T) -> R + Sync,
+{
+    /// Collects the mapped items, preserving input order. The scratch
+    /// state is created once per chunk (= per worker thread).
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let init = &self.init;
+        let f = &self.f;
+        // One scratch per contiguous chunk: reuse it across that chunk's
+        // items, exactly like rayon's per-thread init.
+        let cap = max_workers().max(1);
+        let chunk = self.items.len().div_ceil(cap).max(1);
+        let per_chunk = move |c: &'a [T]| {
+            let mut state = init();
+            c.iter().map(|t| f(&mut state, t)).collect::<Vec<R>>()
+        };
+        let chunks: Vec<&'a [T]> = self.items.chunks(chunk).collect();
+        run_chunked(&chunks, |c| per_chunk(c))
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_keeps_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v
+            .par_iter()
+            .filter_map(|x| (x % 3 == 0).then_some(*x))
+            .collect();
+        assert_eq!(out, (0..1000).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_matches_sequential() {
+        let v: Vec<u64> = (1..=100).collect();
+        let sum = v
+            .par_iter()
+            .map(|x| vec![*x])
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        assert_eq!(sum, (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_reuses_state_within_chunk() {
+        let v: Vec<u64> = (0..64).collect();
+        let out: Vec<u64> = v
+            .par_iter()
+            .map_init(
+                || 0u64,
+                |acc, x| {
+                    *acc += 1;
+                    *x
+                },
+            )
+            .collect();
+        assert_eq!(out, v);
+    }
+
+    #[test]
+    fn nested_parallelism_terminates() {
+        fn rec(depth: usize) -> u64 {
+            if depth == 0 {
+                return 1;
+            }
+            let kids: Vec<usize> = (0..4).collect();
+            kids.par_iter()
+                .map(|_| rec(depth - 1))
+                .reduce(|| 0, |a, b| a + b)
+        }
+        assert_eq!(rec(5), 4u64.pow(5));
+    }
+}
