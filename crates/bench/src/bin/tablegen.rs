@@ -5,7 +5,7 @@
 //! cargo run --release -p madness-bench --bin tablegen -- table1 fig5
 //! ```
 
-use madness_bench::{ablation, figures, tables, trace_report};
+use madness_bench::{ablation, figures, perf, tables, trace_report};
 
 fn hr(title: &str) {
     println!("\n================================================================");
@@ -208,6 +208,22 @@ fn trace() {
     }
 }
 
+fn bench(write_json: bool) {
+    hr(
+        "Bench — wall-clock Apply pipelines, Table I Full-fidelity workload\n\
+         real host arithmetic (not simulated time); best of 2 iterations",
+    );
+    let report = perf::bench_apply(2);
+    print!("{}", perf::render(&report));
+    if write_json {
+        let path = std::path::Path::new("BENCH_apply.json");
+        match std::fs::write(path, perf::to_json(&report)) {
+            Ok(()) => println!("\nperf trajectory point written to {}", path.display()),
+            Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+        }
+    }
+}
+
 const EXPERIMENTS: &[&str] = &[
     "table1",
     "table2",
@@ -220,16 +236,23 @@ const EXPERIMENTS: &[&str] = &[
     "future",
     "ablations",
     "trace",
+    "bench",
 ];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--json` currently only affects `bench` (writes BENCH_apply.json).
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
     if let Some(bad) = args
         .iter()
         .find(|a| *a != "all" && !EXPERIMENTS.contains(&a.as_str()))
     {
         eprintln!("unknown experiment '{bad}'");
-        eprintln!("usage: tablegen [all | {}]...", EXPERIMENTS.join(" | "));
+        eprintln!(
+            "usage: tablegen [--json] [all | {}]...",
+            EXPERIMENTS.join(" | ")
+        );
         std::process::exit(2);
     }
     let run_all = args.is_empty() || args.iter().any(|a| a == "all");
@@ -275,5 +298,8 @@ fn main() {
     }
     if want("trace") {
         trace();
+    }
+    if want("bench") {
+        bench(json);
     }
 }

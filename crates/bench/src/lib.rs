@@ -19,11 +19,13 @@
 //! | Figure 6   | [`figures::fig6`] |
 //! | Ablations  | [`ablation`] |
 //! | Trace      | [`trace_report::trace_table1`] |
+//! | Bench      | [`perf::bench_apply`] |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod ablation;
 pub mod figures;
+pub mod perf;
 pub mod tables;
 pub mod trace_report;

@@ -17,7 +17,7 @@ use madness_mra::key::Key;
 use madness_mra::ops::sum_down;
 use madness_mra::tree::{FunctionTree, TreeForm};
 use madness_runtime::{Batcher, BatcherConfig, CpuModel, SplitPlan, TaskKind};
-use madness_tensor::{Tensor, TransformScratch};
+use madness_tensor::{Tensor, TransformScratch, Workspace, MAX_DIMS};
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -125,28 +125,40 @@ pub fn apply_cpu_reference(op: &SeparatedConvolution, tree: &FunctionTree) -> Fu
                 return None;
             }
             let s = node.coeffs.as_ref()?;
-            let mut scratch = TransformScratch::new();
-            let mut local = Vec::new();
-            let displacements = op.displacements_at(key.level());
-            for disp in displacements.iter() {
-                let Some(neighbor) = key.neighbor(&disp.delta) else {
-                    continue;
-                };
-                // integral_operator (Algorithm 2).
-                let mut r = Tensor::zeros(s.shape());
-                let mut scaled = Tensor::zeros(s.shape());
-                for mu in 0..op.rank() {
-                    let hs: Vec<Arc<Tensor>> = (0..op.d())
-                        .map(|dim| op.get_h(mu, key.level(), disp.delta[dim]))
-                        .collect();
-                    let hrefs: Vec<&Tensor> = hs.iter().map(|h| h.as_ref()).collect();
-                    scaled.as_mut_slice().copy_from_slice(s.as_slice());
-                    scaled.scale(op.terms()[mu].coeff);
-                    madness_tensor::transform_accumulate(&scaled, &hrefs, &mut scratch, &mut r);
+            Some(Workspace::with(|ws| {
+                let mut local = Vec::new();
+                // Arc handles keep the blocks alive across the transform;
+                // the vec is reused for every term so the Σ_μ loop stays
+                // off the allocator after its first iteration.
+                let mut hs: Vec<Arc<Tensor>> = Vec::with_capacity(op.d());
+                let displacements = op.displacements_at(key.level());
+                for disp in displacements.iter() {
+                    let Some(neighbor) = key.neighbor(&disp.delta) else {
+                        continue;
+                    };
+                    // integral_operator (Algorithm 2).
+                    let mut r = Tensor::zeros(s.shape());
+                    for mu in 0..op.rank() {
+                        hs.clear();
+                        hs.extend(
+                            (0..op.d()).map(|dim| op.get_h(mu, key.level(), disp.delta[dim])),
+                        );
+                        let mut hrefs = [&*hs[0]; MAX_DIMS];
+                        for (slot, h) in hrefs.iter_mut().zip(&hs) {
+                            *slot = h;
+                        }
+                        madness_tensor::transform_accumulate_scaled(
+                            s,
+                            op.terms()[mu].coeff,
+                            &hrefs[..op.d()],
+                            ws.scratch(),
+                            &mut r,
+                        );
+                    }
+                    local.push((neighbor, r));
                 }
-                local.push((neighbor, r));
-            }
-            Some(local)
+                local
+            }))
         })
         .flatten()
         .collect();
@@ -184,7 +196,46 @@ pub fn apply_batched(
     let host_cache_before = op.cache_stats();
 
     // ---- preprocess (Algorithm 4): parallel, data-intensive ------------
+    // A term table depends only on (level, displacement) — never on the
+    // source key — so build each one once and share it (`Arc`) across all
+    // tasks at that level/displacement. This removes the dominant
+    // preprocess cost: `M` term allocations plus `M × d` block lookups
+    // per task collapse to one table per distinct (level, displacement).
     let keys = tree.sorted_keys();
+    let leaf_levels: std::collections::BTreeSet<u8> = keys
+        .iter()
+        .filter_map(|key| {
+            let node = tree.get(key)?;
+            (node.is_leaf() && node.coeffs.is_some()).then(|| key.level())
+        })
+        .collect();
+    let mut term_tables: std::collections::HashMap<(u8, usize), Arc<Vec<TransformTerm>>> =
+        std::collections::HashMap::new();
+    for &level in &leaf_levels {
+        for (di, disp) in op.displacements_at(level).iter().enumerate() {
+            let terms: Vec<TransformTerm> = (0..op.rank())
+                .map(|mu| {
+                    let hs: Vec<HBlock> = (0..d)
+                        .map(|dim| {
+                            let delta = disp.delta[dim];
+                            HBlock::new(h_block_id(mu, level, delta), op.get_h(mu, level, delta))
+                        })
+                        .collect();
+                    let effective_ranks = config.rank_reduce_eps.map(|eps| {
+                        (0..d)
+                            .map(|dim| op.effective_rank(mu, level, disp.delta[dim], eps))
+                            .collect()
+                    });
+                    TransformTerm {
+                        coeff: op.terms()[mu].coeff,
+                        hs,
+                        effective_ranks,
+                    }
+                })
+                .collect();
+            term_tables.insert((level, di), Arc::new(terms));
+        }
+    }
     let prepared: Vec<PreparedTask> = keys
         .par_iter()
         .filter_map(|key| {
@@ -196,40 +247,17 @@ pub fn apply_batched(
             let s = Arc::new(s.clone());
             let mut local = Vec::new();
             let displacements = op.displacements_at(key.level());
-            for disp in displacements.iter() {
+            for (di, disp) in displacements.iter().enumerate() {
                 let Some(neighbor) = key.neighbor(&disp.delta) else {
                     continue;
                 };
-                let terms: Vec<TransformTerm> = (0..op.rank())
-                    .map(|mu| {
-                        let hs: Vec<HBlock> = (0..d)
-                            .map(|dim| {
-                                let delta = disp.delta[dim];
-                                HBlock::new(
-                                    h_block_id(mu, key.level(), delta),
-                                    op.get_h(mu, key.level(), delta),
-                                )
-                            })
-                            .collect();
-                        let effective_ranks = config.rank_reduce_eps.map(|eps| {
-                            (0..d)
-                                .map(|dim| op.effective_rank(mu, key.level(), disp.delta[dim], eps))
-                                .collect()
-                        });
-                        TransformTerm {
-                            coeff: op.terms()[mu].coeff,
-                            hs,
-                            effective_ranks,
-                        }
-                    })
-                    .collect();
                 local.push(PreparedTask {
                     neighbor,
                     task: TransformTask {
                         d,
                         k,
                         s: Some(Arc::clone(&s)),
-                        terms,
+                        terms: Arc::clone(&term_tables[&(key.level(), di)]),
                     },
                 });
             }
@@ -271,21 +299,25 @@ pub fn apply_batched(
         let mut cpu_part = batch;
         let gpu_part = cpu_part.split_off(plan.cpu_tasks);
 
-        // CPU side (honours rank reduction).
-        let cpu_results: Vec<(Key, Tensor)> = cpu_part
-            .par_iter()
-            .map_init(TransformScratch::new, |scratch, p| {
-                (p.neighbor, compute_cpu(&p.task, scratch))
-            })
-            .collect();
+        // CPU side (honours rank reduction) overlaps with the GPU batch
+        // via `join` — the paper's "CPU threads keep computing while the
+        // GPU batch is in flight". Ownership of the GPU tasks moves into
+        // the slice: no per-task deep clone.
+        let (neighbors, tasks): (Vec<Key>, Vec<TransformTask>) =
+            gpu_part.into_iter().map(|p| (p.neighbor, p.task)).unzip();
+        let (cpu_results, gpu_out) = rayon::join(
+            || {
+                cpu_part
+                    .par_iter()
+                    .map(|p| Workspace::with(|ws| (p.neighbor, compute_cpu(&p.task, ws.scratch()))))
+                    .collect::<Vec<(Key, Tensor)>>()
+            },
+            || (!tasks.is_empty()).then(|| device.execute_batch(&tasks, kernel, ExecMode::Full)),
+        );
+        // CPU results stay ahead of GPU results, preserving the exact
+        // pre-overlap accumulation order (bit-identical trees).
         results.extend(cpu_results);
-
-        // GPU side (always full rank — resources reserved at launch).
-        // Ownership moves into the task slice: no per-task deep clone.
-        if !gpu_part.is_empty() {
-            let (neighbors, tasks): (Vec<Key>, Vec<TransformTask>) =
-                gpu_part.into_iter().map(|p| (p.neighbor, p.task)).unzip();
-            let out = device.execute_batch(&tasks, kernel, ExecMode::Full);
+        if let Some(out) = gpu_out {
             for (neighbor, r) in neighbors.into_iter().zip(out.results) {
                 results.push((neighbor, r.expect("full mode returns results")));
             }
@@ -327,21 +359,23 @@ pub fn apply_batched(
 fn compute_cpu(task: &TransformTask, scratch: &mut TransformScratch) -> Tensor {
     let s = task.s.as_ref().expect("full-fidelity task");
     let mut r = Tensor::zeros(s.shape());
-    let mut scaled = Tensor::zeros(s.shape());
-    for term in &task.terms {
-        let hrefs: Vec<&Tensor> = term
-            .hs
-            .iter()
-            .map(|h| h.data.as_deref().expect("block data present"))
-            .collect();
-        scaled.as_mut_slice().copy_from_slice(s.as_slice());
-        scaled.scale(term.coeff);
+    for term in task.terms.iter() {
+        // Block refs live on the stack (d ≤ MAX_DIMS); c_μ folds into the
+        // scratch staging copy — no temporaries per rank term.
+        let first = term.hs[0].data.as_deref().expect("block data present");
+        let mut hrefs = [first; MAX_DIMS];
+        for (slot, h) in hrefs.iter_mut().zip(&term.hs) {
+            *slot = h.data.as_deref().expect("block data present");
+        }
+        let hrefs = &hrefs[..task.d];
         match &term.effective_ranks {
             Some(krs) => {
-                madness_tensor::transform_rr_accumulate(&scaled, &hrefs, krs, scratch, &mut r);
+                madness_tensor::transform_rr_accumulate_scaled(
+                    s, term.coeff, hrefs, krs, scratch, &mut r,
+                );
             }
             None => {
-                madness_tensor::transform_accumulate(&scaled, &hrefs, scratch, &mut r);
+                madness_tensor::transform_accumulate_scaled(s, term.coeff, hrefs, scratch, &mut r);
             }
         }
     }

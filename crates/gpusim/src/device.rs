@@ -6,7 +6,7 @@ use crate::kernel::{execute_task, kernel_cost, KernelKind};
 use crate::spec::DeviceSpec;
 use crate::task::TransformTask;
 use crate::transfer::TransferEngine;
-use madness_tensor::{Tensor, TransformScratch};
+use madness_tensor::{Tensor, Workspace};
 use madness_trace::{NullRecorder, Recorder, Stage};
 use rayon::prelude::*;
 
@@ -256,7 +256,7 @@ impl GpuDevice {
             ExecMode::Timing => vec![None; tasks.len()],
             ExecMode::Full => tasks
                 .par_iter()
-                .map_init(TransformScratch::new, |scratch, t| execute_task(t, scratch))
+                .map(|t| Workspace::with(|ws| execute_task(t, ws.scratch())))
                 .collect(),
         };
 
@@ -369,13 +369,13 @@ mod tests {
             d: 3,
             k,
             s: Some(Arc::clone(&s)),
-            terms: vec![TransformTerm {
+            terms: Arc::new(vec![TransformTerm {
                 coeff: 4.0,
                 hs: (0..3)
                     .map(|i| HBlock::new(i as u64, Arc::clone(&ident)))
                     .collect(),
                 effective_ranks: None,
-            }],
+            }]),
         };
         let mut d = device(3);
         let out = d.execute_batch(

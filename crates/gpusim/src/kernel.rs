@@ -15,7 +15,7 @@
 use crate::clock::SimTime;
 use crate::spec::DeviceSpec;
 use crate::task::TransformTask;
-use madness_tensor::{transform_accumulate, Shape, Tensor, TransformScratch};
+use madness_tensor::{transform_accumulate_scaled, Shape, Tensor, TransformScratch, MAX_DIMS};
 
 /// Which kernel implementation services a batch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -96,7 +96,7 @@ pub fn kernel_cost(spec: &DeviceSpec, kind: KernelKind, task: &TransformTask) ->
             let mut duration = SimTime::ZERO;
             let mut launches = 0u64;
             let mut sms_used = 1usize;
-            for _term in &task.terms {
+            for _term in task.terms.iter() {
                 for _dim in 0..d {
                     let flops = madness_tensor::flops::mtxmq_flops(fused, k, k);
                     let (sms, rate) = spec.cublas_gemm(fused, k, k);
@@ -126,22 +126,22 @@ pub fn kernel_cost(spec: &DeviceSpec, kind: KernelKind, task: &TransformTask) ->
 pub fn execute_task(task: &TransformTask, scratch: &mut TransformScratch) -> Option<Tensor> {
     let s = task.s.as_ref()?;
     let mut r = Tensor::zeros(Shape::cube(task.d, task.k));
-    let mut scaled = Tensor::zeros(s.shape());
-    for term in &task.terms {
-        let hs: Vec<&Tensor> = term
-            .hs
-            .iter()
-            .map(|h| {
-                h.data
-                    .as_deref()
-                    .expect("full-fidelity task requires block data")
-            })
-            .collect();
-        // Fold c_μ into the source once per term (cheaper than a post-
-        // scale of the accumulated output, which would scale other terms).
-        scaled.as_mut_slice().copy_from_slice(s.as_slice());
-        scaled.scale(term.coeff);
-        transform_accumulate(&scaled, &hs, scratch, &mut r);
+    for term in task.terms.iter() {
+        // Block refs live on the stack (d ≤ MAX_DIMS); c_μ folds into the
+        // scratch staging copy instead of a materialized scaled source —
+        // same products, no temporaries per rank term.
+        let first = term.hs[0]
+            .data
+            .as_deref()
+            .expect("full-fidelity task requires block data");
+        let mut hs = [first; MAX_DIMS];
+        for (slot, h) in hs.iter_mut().zip(&term.hs) {
+            *slot = h
+                .data
+                .as_deref()
+                .expect("full-fidelity task requires block data");
+        }
+        transform_accumulate_scaled(s, term.coeff, &hs[..task.d], scratch, &mut r);
     }
     Some(r)
 }
@@ -223,7 +223,7 @@ mod tests {
         let mut t = paper_task_3d_k10();
         let custom_full = kernel_cost(&spec, KernelKind::CustomMtxmq, &t);
         let cublas_full = kernel_cost(&spec, KernelKind::CublasLike, &t);
-        for term in &mut t.terms {
+        for term in Arc::make_mut(&mut t.terms) {
             term.effective_ranks = Some(vec![4, 4, 4]);
         }
         assert_eq!(
@@ -244,7 +244,7 @@ mod tests {
         assert!(kepler.dynamic_parallelism);
         let mut t = paper_task_3d_k10();
         let full = kernel_cost(&kepler, KernelKind::CustomMtxmq, &t).duration;
-        for term in &mut t.terms {
+        for term in Arc::make_mut(&mut t.terms) {
             term.effective_ranks = Some(vec![4, 4, 4]);
         }
         let reduced = kernel_cost(&kepler, KernelKind::CustomMtxmq, &t).duration;
@@ -258,7 +258,7 @@ mod tests {
         let fermi_full = kernel_cost(&fermi, KernelKind::CustomMtxmq, &t).duration;
         let mut t2 = paper_task_3d_k10();
         t2.terms = t.terms.clone();
-        for term in &mut t2.terms {
+        for term in Arc::make_mut(&mut t2.terms) {
             term.effective_ranks = None;
         }
         let fermi_norr = kernel_cost(&fermi, KernelKind::CustomMtxmq, &t2).duration;
@@ -295,7 +295,7 @@ mod tests {
             d: 3,
             k,
             s: Some(Arc::clone(&s)),
-            terms: vec![mk_term(2.0), mk_term(3.0)],
+            terms: Arc::new(vec![mk_term(2.0), mk_term(3.0)]),
         };
         let mut scratch = TransformScratch::new();
         let r = execute_task(&task, &mut scratch).unwrap();

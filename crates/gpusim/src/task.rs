@@ -57,8 +57,11 @@ pub struct TransformTask {
     pub k: usize,
     /// Source coefficients `s` (`None` in timing-only fidelity).
     pub s: Option<Arc<Tensor>>,
-    /// The `M` separated-rank terms.
-    pub terms: Vec<TransformTerm>,
+    /// The `M` separated-rank terms. Shared (`Arc`) because terms depend
+    /// only on (level, displacement): the paper's "hundreds of input h
+    /// tensors" are reused by many source tensors, and rebuilding the
+    /// list per task dominated preprocess. Use [`Arc::make_mut`] to edit.
+    pub terms: Arc<Vec<TransformTerm>>,
 }
 
 impl TransformTask {
@@ -108,7 +111,7 @@ impl TransformTask {
     /// (for modeling rank reduction in the simulators).
     pub fn shape_only_rr(d: usize, k: usize, rank: usize, id_base: u64, kr: usize) -> Self {
         let mut t = Self::shape_only(d, k, rank, id_base);
-        for term in &mut t.terms {
+        for term in Arc::make_mut(&mut t.terms) {
             term.effective_ranks = Some(vec![kr.min(k); d]);
         }
         t
@@ -135,7 +138,7 @@ impl TransformTask {
             d,
             k,
             s: None,
-            terms,
+            terms: Arc::new(terms),
         }
     }
 }
@@ -159,7 +162,7 @@ mod tests {
     #[test]
     fn rank_reduced_flops_below_full() {
         let mut t = TransformTask::shape_only(3, 10, 10, 0);
-        for term in &mut t.terms {
+        for term in Arc::make_mut(&mut t.terms) {
             term.effective_ranks = Some(vec![4, 4, 4]);
         }
         assert_eq!(t.flops_rank_reduced(), t.flops() * 4 / 10);
@@ -173,11 +176,11 @@ mod tests {
             d: 3,
             k: 4,
             s: Some(Arc::clone(&s)),
-            terms: vec![TransformTerm {
+            terms: Arc::new(vec![TransformTerm {
                 coeff: 2.0,
                 hs: (0..3).map(|i| HBlock::new(i, Arc::clone(&h))).collect(),
                 effective_ranks: None,
-            }],
+            }]),
         };
         assert!(task.s.is_some());
         assert_eq!(task.rank(), 1);

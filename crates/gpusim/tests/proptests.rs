@@ -107,11 +107,11 @@ proptest! {
             d: 3,
             k,
             s: Some(Arc::clone(&s)),
-            terms: vec![TransformTerm {
+            terms: Arc::new(vec![TransformTerm {
                 coeff,
                 hs: (0..3).map(|i| HBlock::new(i as u64, Arc::clone(&h))).collect(),
                 effective_ranks: None,
-            }],
+            }]),
         };
         let mut scratch = TransformScratch::new();
         let r1 = execute_task(&mk(c1), &mut scratch).unwrap();

@@ -86,6 +86,9 @@ pub struct SeparatedConvolution {
     cache: Mutex<FxHashMap<HKey, Arc<Tensor>>>,
     /// Memoized per-level displacement lists (invalidated on policy change).
     disp_cache: Mutex<FxHashMap<u8, Arc<Vec<Displacement>>>>,
+    /// Memoized effective ranks: recomputing row norms per Apply task
+    /// made the rank-reduced path slower than full rank.
+    rank_cache: Mutex<FxHashMap<(HKey, u64), usize>>,
     hits: std::sync::atomic::AtomicU64,
     misses: std::sync::atomic::AtomicU64,
 }
@@ -138,6 +141,7 @@ impl SeparatedConvolution {
             qphi,
             cache: Mutex::new(FxHashMap::default()),
             disp_cache: Mutex::new(FxHashMap::default()),
+            rank_cache: Mutex::new(FxHashMap::default()),
             hits: std::sync::atomic::AtomicU64::new(0),
             misses: std::sync::atomic::AtomicU64::new(0),
         }
@@ -407,6 +411,20 @@ impl SeparatedConvolution {
     /// `eps · max_row_norm`. Tail rows beyond it are negligible and the
     /// CPU path skips them.
     pub fn effective_rank(&self, mu: usize, level: u8, disp: i64, eps: f64) -> usize {
+        // Memoized: the rank depends only on the (immutable) block and
+        // eps, but Apply asks for it once per source task — thousands of
+        // times per run for the same handful of blocks.
+        let key = ((level, disp, mu as u32), eps.to_bits());
+        if let Some(&kr) = self.rank_cache.lock().get(&key) {
+            return kr;
+        }
+        let kr = self.compute_effective_rank(mu, level, disp, eps);
+        // Racing computations insert the same deterministic value.
+        self.rank_cache.lock().insert(key, kr);
+        kr
+    }
+
+    fn compute_effective_rank(&self, mu: usize, level: u8, disp: i64, eps: f64) -> usize {
         let h = self.get_h(mu, level, disp);
         let k = self.k;
         let mut row_norms = vec![0.0f64; k];
@@ -521,6 +539,23 @@ mod tests {
         let op = SeparatedConvolution::gaussian_sum(3, 10, 1, 300.0, 300.0);
         let kr = op.effective_rank(0, 0, 0, 1e-10);
         assert!(kr >= 8, "effective rank {kr} for sharp kernel");
+    }
+
+    #[test]
+    fn effective_rank_is_memoized() {
+        let op = SeparatedConvolution::gaussian_sum(3, 8, 2, 1.0, 50.0);
+        let first = op.effective_rank(1, 2, 1, 1e-6);
+        let stats_after_first = op.cache_stats();
+        let second = op.effective_rank(1, 2, 1, 1e-6);
+        assert_eq!(first, second);
+        assert_eq!(
+            op.cache_stats(),
+            stats_after_first,
+            "memoized call should not touch the block cache"
+        );
+        // A different eps is a different memo entry, not a stale answer.
+        let loose = op.effective_rank(1, 2, 1, 0.5);
+        assert!(loose <= first);
     }
 
     #[test]

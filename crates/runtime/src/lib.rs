@@ -38,4 +38,4 @@ pub use batcher::{Batcher, BatcherConfig, TaskKind};
 pub use cpu::CpuModel;
 pub use dispatch::{hybrid_optimal_time, optimal_split, SplitPlan};
 pub use op::BatchedOp;
-pub use pool::WorkerPool;
+pub use pool::{global_pool, WorkerPool};

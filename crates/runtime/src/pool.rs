@@ -11,8 +11,23 @@
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+
+/// The process-wide shared data-thread pool.
+///
+/// Repeated Apply runs used to be free to spin up a fresh pool per call;
+/// this accessor makes reuse the default, mirroring the persistent
+/// work-stealing compute executor in `rayon`. Sized to the executor's
+/// worker count (or `available_parallelism` when the executor runs
+/// inline) so compute and data threads share one thread budget.
+pub fn global_pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = rayon::executor_stats().workers.max(1) as usize;
+        WorkerPool::new(workers)
+    })
+}
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -200,6 +215,24 @@ mod tests {
         pool.wait_idle(); // must return despite the panic
         assert_eq!(counter.load(Ordering::Relaxed), 10);
         assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_reusable() {
+        let a = global_pool() as *const WorkerPool;
+        let b = global_pool() as *const WorkerPool;
+        assert_eq!(a, b, "global pool must be a single shared instance");
+        let counter = Arc::new(AtomicU64::new(0));
+        for wave in 1..=2u64 {
+            for _ in 0..25 {
+                let c = Arc::clone(&counter);
+                global_pool().submit(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            global_pool().wait_idle();
+            assert_eq!(counter.load(Ordering::Relaxed), wave * 25);
+        }
     }
 
     #[test]

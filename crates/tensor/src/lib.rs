@@ -43,8 +43,9 @@ pub use mtxmq::{mtxmq, mtxmq_acc, mtxmq_rr, mtxmq_rr_acc};
 pub use shape::Shape;
 pub use tensor::Tensor;
 pub use transform::{
-    general_transform, transform, transform_accumulate, transform_dim, transform_rr,
-    transform_rr_accumulate, TransformScratch,
+    general_transform, transform, transform_accumulate, transform_accumulate_scaled, transform_dim,
+    transform_dim_into, transform_into, transform_rr, transform_rr_accumulate,
+    transform_rr_accumulate_scaled, TransformScratch, Workspace,
 };
 
 /// Maximum tensor dimensionality supported by [`Shape`].

@@ -37,10 +37,19 @@ impl Shape {
     }
 
     /// The hyper-cubic shape `k × k × … × k` (`d` times) used for MRA
-    /// coefficient blocks.
+    /// coefficient blocks. Built entirely on the stack — this runs on
+    /// the Apply warm path, once per compute task.
     pub fn cube(d: usize, k: usize) -> Self {
         assert!((1..=MAX_DIMS).contains(&d));
-        Self::new(&vec![k; d])
+        assert!(k > 0, "zero-extent dimension in cube shape");
+        // Trailing extents must be zero: derived Eq/Hash compare the
+        // whole inline array, matching what `Shape::new` produces.
+        let mut dims = [0usize; MAX_DIMS];
+        dims[..d].fill(k);
+        Shape {
+            dims,
+            ndim: d as u8,
+        }
     }
 
     /// A 2-dimensional `rows × cols` shape.

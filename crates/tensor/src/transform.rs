@@ -13,9 +13,10 @@
 //! axis order. Each pass is exactly one of the paper's
 //! `(k^{d-1}, k) × (k, k)` multiplications.
 
-use crate::mtxmq::{mtxmq, mtxmq_acc, mtxmq_rr};
+use crate::mtxmq::{mtxmq, mtxmq_acc, mtxmq_rr, mtxmq_rr_acc};
 use crate::shape::Shape;
 use crate::tensor::Tensor;
+use std::cell::RefCell;
 
 /// Reusable scratch buffers for [`transform`]-family calls.
 ///
@@ -45,6 +46,46 @@ impl TransformScratch {
     fn resize(&mut self, len: usize) {
         self.ping.resize(len, 0.0);
         self.pong.resize(len, 0.0);
+    }
+}
+
+/// Per-thread reusable state for the allocation-free Apply hot path.
+///
+/// The Σ_μ inner loops (one transform per separated-rank term, M ≈ 100
+/// terms per task) borrow the calling thread's workspace through
+/// [`Workspace::with`] instead of allocating scratch per call; in steady
+/// state the buffers reach their high-water size once and every later
+/// term runs with **zero heap allocations**.
+#[derive(Default, Debug)]
+pub struct Workspace {
+    scratch: TransformScratch,
+}
+
+thread_local! {
+    static WORKSPACE: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
+
+impl Workspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The ping-pong transform scratch.
+    pub fn scratch(&mut self) -> &mut TransformScratch {
+        &mut self.scratch
+    }
+
+    /// Runs `f` with the calling thread's workspace.
+    ///
+    /// Re-entrant calls (e.g. `f` itself ends up back here through
+    /// nested parallelism on the same thread) fall back to a fresh
+    /// temporary workspace rather than aliasing the borrowed one.
+    pub fn with<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+        WORKSPACE.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut ws) => f(&mut ws),
+            Err(_) => f(&mut Workspace::new()),
+        })
     }
 }
 
@@ -84,7 +125,7 @@ pub fn general_transform(t: &Tensor, hs: &[&Tensor]) -> Tensor {
     }
     let out_shape = Shape::new(&out_dims[..d]);
     let mut out = Tensor::zeros(out_shape);
-    transform_into(t, hs, &mut scratch, out.as_mut_slice(), false);
+    pipeline(t, None, hs, None, &mut scratch, out.as_mut_slice(), false);
     out
 }
 
@@ -121,38 +162,119 @@ pub fn transform_accumulate(
         Shape::new(&out_dims[..d]),
         "accumulate target shape mismatch"
     );
-    transform_into(t, hs, scratch, out.as_mut_slice(), true);
+    pipeline(t, None, hs, None, scratch, out.as_mut_slice(), true);
 }
 
-/// Shared d-pass pipeline. If `accumulate`, the final pass adds into `out`;
-/// otherwise it overwrites it.
-fn transform_into(
+/// `out += transform(coeff · t, hs)` with the coefficient multiply fused
+/// into the scratch staging copy: the Σ_μ inner statement of Algorithm 5
+/// (`r += c_μ · Π h^{(μ,dim)} s`) without materializing `c_μ · s`.
+///
+/// Bit-identical to scaling `t` elementwise first and then calling
+/// [`transform_accumulate`].
+///
+/// # Panics
+/// Same contract as [`transform_accumulate`].
+pub fn transform_accumulate_scaled(
+    t: &Tensor,
+    coeff: f64,
+    hs: &[&Tensor],
+    scratch: &mut TransformScratch,
+    out: &mut Tensor,
+) {
+    let d = check_operands(t, hs);
+    let mut out_dims = [0usize; crate::MAX_DIMS];
+    for (i, h) in hs.iter().enumerate() {
+        out_dims[i] = h.shape().dim(1);
+    }
+    assert_eq!(
+        out.shape(),
+        Shape::new(&out_dims[..d]),
+        "accumulate target shape mismatch"
+    );
+    pipeline(t, Some(coeff), hs, None, scratch, out.as_mut_slice(), true);
+}
+
+/// Overwriting scratch-buffer transform: `out = transform(t, hs)` with
+/// every intermediate kept in `scratch`.
+///
+/// # Panics
+/// Panics if `out`'s shape does not match the transform output, or on
+/// the operand mismatches of [`general_transform`].
+pub fn transform_into(
     t: &Tensor,
     hs: &[&Tensor],
+    scratch: &mut TransformScratch,
+    out: &mut Tensor,
+) {
+    let d = check_operands(t, hs);
+    let mut out_dims = [0usize; crate::MAX_DIMS];
+    for (i, h) in hs.iter().enumerate() {
+        out_dims[i] = h.shape().dim(1);
+    }
+    assert_eq!(
+        out.shape(),
+        Shape::new(&out_dims[..d]),
+        "transform_into target shape mismatch"
+    );
+    pipeline(t, None, hs, None, scratch, out.as_mut_slice(), false);
+}
+
+/// Upper bound for intermediate sizes: after pass p the tensor has dims
+/// `(n_{p+1}, …, n_d, m_1, …, m_p)`.
+fn max_intermediate_len(t: &Tensor, hs: &[&Tensor]) -> usize {
+    let mut len = t.len();
+    let mut m = len;
+    for (i, h) in hs.iter().enumerate() {
+        len = len / t.shape().dim(i) * h.shape().dim(1);
+        m = m.max(len);
+    }
+    m
+}
+
+/// Shared d-pass pipeline behind every `transform*` entry point.
+///
+/// * `scale` — if `Some(c)`, the tensor is multiplied by `c` while being
+///   staged into the scratch buffer, fusing the caller's
+///   `scaled = c · s` pre-pass (and its temporary tensor) into the first
+///   copy;
+/// * `krs` — if `Some`, pass `p` contracts only the first `krs[p]` rows
+///   (rank reduction, paper §II-D);
+/// * `accumulate` — the final pass adds into `out` instead of
+///   overwriting it.
+///
+/// All intermediates live in `scratch`'s ping-pong buffers: once those
+/// reach their high-water size this function performs **zero heap
+/// allocations**.
+fn pipeline(
+    t: &Tensor,
+    scale: Option<f64>,
+    hs: &[&Tensor],
+    krs: Option<&[usize]>,
     scratch: &mut TransformScratch,
     out: &mut [f64],
     accumulate: bool,
 ) {
     let d = t.ndim();
-    // Upper bound for intermediate sizes: after pass p the tensor has dims
-    // (n_{p+1}, …, n_d, m_1, …, m_p).
-    let max_len = {
-        let mut len = t.len();
-        let mut m = len;
-        for (i, h) in hs.iter().enumerate() {
-            len = len / t.shape().dim(i) * h.shape().dim(1);
-            m = m.max(len);
-        }
-        m
-    };
-    scratch.resize(max_len);
+    scratch.resize(max_intermediate_len(t, hs));
 
-    // cur tracks which buffer holds the current intermediate; `dims` its
-    // (rotated) shape.
-    let mut dims: Vec<usize> = t.shape().dims().to_vec();
+    // `dims` is the (rotated) shape of the current intermediate, kept in
+    // a stack array — the old per-call `Vec` showed up in Apply's heap
+    // profile at one allocation per rank term.
+    let mut dims = [0usize; crate::MAX_DIMS];
+    dims[..d].copy_from_slice(t.shape().dims());
     let mut src_is_ping = true;
-    scratch.ping[..t.len()].copy_from_slice(t.as_slice());
     let mut cur_len = t.len();
+    match scale {
+        // Fold the separated-expansion coefficient into the staging
+        // copy: same elementwise product the callers used to materialize
+        // as a `scaled` temporary, so results stay bit-identical.
+        Some(c) => {
+            for (p, &s) in scratch.ping[..cur_len].iter_mut().zip(t.as_slice()) {
+                *p = c * s;
+            }
+        }
+        None => scratch.ping[..cur_len].copy_from_slice(t.as_slice()),
+    }
 
     for (pass, h) in hs.iter().enumerate() {
         let dimk = dims[0]; // contraction extent = current leading dim
@@ -160,6 +282,7 @@ fn transform_into(
         let dimj = h.shape().dim(1);
         let next_len = dimi * dimj;
         let last = pass + 1 == d;
+        let kr = krs.map(|k| k[pass].min(dimk));
 
         let (src, dst): (&[f64], &mut [f64]) = if src_is_ping {
             (&scratch.ping[..cur_len], &mut scratch.pong[..next_len])
@@ -167,20 +290,24 @@ fn transform_into(
             (&scratch.pong[..cur_len], &mut scratch.ping[..next_len])
         };
 
-        if last {
+        let target: &mut [f64] = if last {
             debug_assert_eq!(out.len(), next_len, "output buffer length mismatch");
-            if accumulate {
-                mtxmq_acc(dimi, dimj, dimk, src, h.as_slice(), out);
-            } else {
-                mtxmq(dimi, dimj, dimk, src, h.as_slice(), out);
-            }
+            out
         } else {
-            mtxmq(dimi, dimj, dimk, src, h.as_slice(), dst);
+            dst
+        };
+        match (kr, last && accumulate) {
+            (None, false) => mtxmq(dimi, dimj, dimk, src, h.as_slice(), target),
+            (None, true) => mtxmq_acc(dimi, dimj, dimk, src, h.as_slice(), target),
+            (Some(kr), false) => mtxmq_rr(dimi, dimj, dimk, kr, src, h.as_slice(), target),
+            (Some(kr), true) => mtxmq_rr_acc(dimi, dimj, dimk, kr, src, h.as_slice(), target),
         }
 
         // Rotate: leading dim contracted away, output dim appended.
-        dims.remove(0);
-        dims.push(dimj);
+        for i in 1..d {
+            dims[i - 1] = dims[i];
+        }
+        dims[d - 1] = dimj;
         cur_len = next_len;
         src_is_ping = !src_is_ping;
     }
@@ -195,16 +322,50 @@ fn transform_into(
 /// # Panics
 /// Panics if `h` is not a matrix with rows matching `t`'s dim 0.
 pub fn transform_dim(t: &Tensor, h: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(transform_dim_shape(t, h));
+    transform_dim_into(t, h, &mut out);
+    out
+}
+
+/// The rotated output shape of [`transform_dim`], computed without
+/// heap allocation (the old `to_vec` + `push` pair ran once per pass on
+/// the warm path).
+fn transform_dim_shape(t: &Tensor, h: &Tensor) -> Shape {
     assert_eq!(h.ndim(), 2, "operator must be a matrix");
     let dimk = t.shape().dim(0);
     assert_eq!(h.shape().dim(0), dimk, "operator rows mismatch dim 0");
+    let d = t.ndim();
+    let mut dims = [0usize; crate::MAX_DIMS];
+    dims[..d - 1].copy_from_slice(&t.shape().dims()[1..]);
+    dims[d - 1] = h.shape().dim(1);
+    Shape::new(&dims[..d])
+}
+
+/// Allocation-free [`transform_dim`]: contracts dimension 0 of `t` with
+/// `h` into the caller-provided `out`.
+///
+/// # Panics
+/// Panics if `h` is not a matrix with rows matching `t`'s dim 0, or if
+/// `out`'s shape is not `t`'s shape rotated with the new extent
+/// appended.
+pub fn transform_dim_into(t: &Tensor, h: &Tensor, out: &mut Tensor) {
+    let want = transform_dim_shape(t, h);
+    assert_eq!(
+        out.shape(),
+        want,
+        "transform_dim_into target shape mismatch"
+    );
+    let dimk = t.shape().dim(0);
     let dimi = t.len() / dimk;
     let dimj = h.shape().dim(1);
-    let mut out = vec![0.0; dimi * dimj];
-    mtxmq(dimi, dimj, dimk, t.as_slice(), h.as_slice(), &mut out);
-    let mut dims: Vec<usize> = t.shape().dims()[1..].to_vec();
-    dims.push(dimj);
-    Tensor::from_vec(Shape::new(&dims), out)
+    mtxmq(
+        dimi,
+        dimj,
+        dimk,
+        t.as_slice(),
+        h.as_slice(),
+        out.as_mut_slice(),
+    );
 }
 
 /// Rank-reduced transform (paper §II-D, Fig. 4): pass `p` contracts only
@@ -251,49 +412,43 @@ pub fn transform_rr_accumulate(
         Shape::new(&out_dims[..d]),
         "accumulate target shape mismatch"
     );
-    // Intermediates can grow across passes (rectangular operators), so
-    // size the scratch from the *cumulative* per-pass lengths — the same
-    // computation transform_into performs.
-    let max_len = {
-        let mut len = t.len();
-        let mut m = len;
-        for (i, h) in hs.iter().enumerate() {
-            len = len / t.shape().dim(i) * h.shape().dim(1);
-            m = m.max(len);
-        }
-        m
-    };
-    scratch.resize(max_len);
+    pipeline(t, None, hs, Some(krs), scratch, out.as_mut_slice(), true);
+}
 
-    let mut dims: Vec<usize> = t.shape().dims().to_vec();
-    let mut cur_len = t.len();
-    let mut src_is_ping = true;
-    scratch.ping[..cur_len].copy_from_slice(t.as_slice());
-
-    for (pass, h) in hs.iter().enumerate() {
-        let dimk = dims[0];
-        let kr = krs[pass].min(dimk);
-        let dimi = cur_len / dimk;
-        let dimj = h.shape().dim(1);
-        let next_len = dimi * dimj;
-        let last = pass + 1 == d;
-        let (src, dst): (&[f64], &mut [f64]) = if src_is_ping {
-            (&scratch.ping[..cur_len], &mut scratch.pong[..next_len])
-        } else {
-            (&scratch.pong[..cur_len], &mut scratch.ping[..next_len])
-        };
-        if last {
-            // Accumulate the reduced contraction into `out`: mtxmq_rr
-            // overwrites, so run the skip-tail contraction additively.
-            crate::mtxmq::mtxmq_rr_acc(dimi, dimj, dimk, kr, src, h.as_slice(), out.as_mut_slice());
-        } else {
-            mtxmq_rr(dimi, dimj, dimk, kr, src, h.as_slice(), dst);
-        }
-        dims.remove(0);
-        dims.push(dimj);
-        cur_len = next_len;
-        src_is_ping = !src_is_ping;
+/// `out += transform_rr(coeff · t, hs, krs)` with the coefficient fused
+/// into the staging copy: the rank-reduced counterpart of
+/// [`transform_accumulate_scaled`].
+///
+/// # Panics
+/// Same contract as [`transform_rr_accumulate`].
+pub fn transform_rr_accumulate_scaled(
+    t: &Tensor,
+    coeff: f64,
+    hs: &[&Tensor],
+    krs: &[usize],
+    scratch: &mut TransformScratch,
+    out: &mut Tensor,
+) {
+    let d = check_operands(t, hs);
+    assert_eq!(krs.len(), d, "need one effective rank per dimension");
+    let mut out_dims = [0usize; crate::MAX_DIMS];
+    for (i, h) in hs.iter().enumerate() {
+        out_dims[i] = h.shape().dim(1);
     }
+    assert_eq!(
+        out.shape(),
+        Shape::new(&out_dims[..d]),
+        "accumulate target shape mismatch"
+    );
+    pipeline(
+        t,
+        Some(coeff),
+        hs,
+        Some(krs),
+        scratch,
+        out.as_mut_slice(),
+        true,
+    );
 }
 
 #[cfg(test)]
@@ -507,6 +662,96 @@ mod tests {
         transform_rr_accumulate(&t, &hr, &[2, 3, 4], &mut scratch, &mut acc);
         let want = &base + &transform_rr(&t, &hr, &[2, 3, 4]);
         assert!(acc.distance(&want) < 1e-12);
+    }
+
+    #[test]
+    fn scaled_accumulate_is_bit_identical_to_prescale() {
+        let k = 4;
+        let t = det_tensor(Shape::cube(3, k), 13);
+        let hs: Vec<Tensor> = (0..3)
+            .map(|i| det_tensor(Shape::matrix(k, k), 50 + i))
+            .collect();
+        let hr: Vec<&Tensor> = hs.iter().collect();
+        let coeff = -1.75;
+        let mut scratch = TransformScratch::new();
+        // Old path: materialize scaled = coeff * t, then accumulate.
+        let mut scaled = t.clone();
+        scaled.scale(coeff);
+        let mut want = det_tensor(Shape::cube(3, k), 8);
+        let mut got = want.clone();
+        transform_accumulate(&scaled, &hr, &mut scratch, &mut want);
+        transform_accumulate_scaled(&t, coeff, &hr, &mut scratch, &mut got);
+        assert_eq!(got.as_slice(), want.as_slice(), "must be bit-identical");
+    }
+
+    #[test]
+    fn scaled_rr_accumulate_is_bit_identical_to_prescale() {
+        let k = 5;
+        let t = det_tensor(Shape::cube(3, k), 23);
+        let hs: Vec<Tensor> = (0..3)
+            .map(|i| det_tensor(Shape::matrix(k, k), 150 + i))
+            .collect();
+        let hr: Vec<&Tensor> = hs.iter().collect();
+        let krs = [3, 5, 2];
+        let coeff = 0.375;
+        let mut scratch = TransformScratch::new();
+        let mut scaled = t.clone();
+        scaled.scale(coeff);
+        let mut want = det_tensor(Shape::cube(3, k), 4);
+        let mut got = want.clone();
+        transform_rr_accumulate(&scaled, &hr, &krs, &mut scratch, &mut want);
+        transform_rr_accumulate_scaled(&t, coeff, &hr, &krs, &mut scratch, &mut got);
+        assert_eq!(got.as_slice(), want.as_slice(), "must be bit-identical");
+    }
+
+    #[test]
+    fn transform_into_matches_allocating_transform() {
+        let k = 4;
+        let t = det_tensor(Shape::cube(3, k), 33);
+        let hs: Vec<Tensor> = (0..3)
+            .map(|i| det_tensor(Shape::matrix(k, k), 200 + i))
+            .collect();
+        let hr: Vec<&Tensor> = hs.iter().collect();
+        let mut scratch = TransformScratch::new();
+        let mut out = det_tensor(Shape::cube(3, k), 77); // garbage to overwrite
+        transform_into(&t, &hr, &mut scratch, &mut out);
+        let want = transform(&t, &hr);
+        assert_eq!(out.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn transform_dim_into_matches_allocating() {
+        let t = det_tensor(Shape::new(&[2, 3, 4]), 41);
+        let h = det_tensor(Shape::matrix(2, 5), 42);
+        let want = transform_dim(&t, &h);
+        let mut out = Tensor::zeros(Shape::new(&[3, 4, 5]));
+        transform_dim_into(&t, &h, &mut out);
+        assert_eq!(out.as_slice(), want.as_slice());
+        assert_eq!(out.shape().dims(), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn workspace_with_reuses_and_tolerates_reentrancy() {
+        let k = 4;
+        let t = det_tensor(Shape::cube(3, k), 3);
+        let hs: Vec<Tensor> = (0..3)
+            .map(|i| det_tensor(Shape::matrix(k, k), 120 + i))
+            .collect();
+        let hr: Vec<&Tensor> = hs.iter().collect();
+        let want = transform(&t, &hr);
+        let got = Workspace::with(|ws| {
+            // Re-entrant borrow on the same thread must not panic.
+            let inner = Workspace::with(|ws2| {
+                let mut out = Tensor::zeros(Shape::cube(3, k));
+                transform_into(&t, &hr, ws2.scratch(), &mut out);
+                out
+            });
+            let mut out = Tensor::zeros(Shape::cube(3, k));
+            transform_into(&t, &hr, ws.scratch(), &mut out);
+            assert_eq!(inner.as_slice(), out.as_slice());
+            out
+        });
+        assert_eq!(got.as_slice(), want.as_slice());
     }
 
     #[test]

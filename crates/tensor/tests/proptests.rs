@@ -134,3 +134,208 @@ proptest! {
         prop_assert!((lhs - rhs).abs() < 1e-10 * (1.0 + rhs));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Zero-allocation workspace variants
+// ---------------------------------------------------------------------------
+
+mod workspace {
+    use madness_tensor::{
+        transform, transform_accumulate, transform_accumulate_scaled, transform_dim,
+        transform_dim_into, transform_into, transform_rr, transform_rr_accumulate,
+        transform_rr_accumulate_scaled, Shape, Tensor, TransformScratch, Workspace,
+    };
+    use proptest::prelude::*;
+
+    /// Deterministic tensor fill from a seed (xorshift, same idiom the
+    /// unit tests use).
+    fn det_tensor(shape: Shape, seed: u64) -> Tensor {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Tensor::from_fn(shape, |_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+    }
+
+    /// Random (shape, operators) pair: d ∈ 1..=4 dims of extents 1..6,
+    /// with possibly rectangular operators.
+    fn random_problem(
+        d: usize,
+        extents: &[usize],
+        outs: &[usize],
+        seed: u64,
+    ) -> (Tensor, Vec<Tensor>) {
+        let t = det_tensor(Shape::new(&extents[..d]), seed);
+        let hs: Vec<Tensor> = (0..d)
+            .map(|i| {
+                det_tensor(
+                    Shape::matrix(extents[i], outs[i]),
+                    seed ^ (i as u64 + 1) * 7919,
+                )
+            })
+            .collect();
+        (t, hs)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// `transform_into` + reused scratch is bit-identical to the
+        /// allocating `transform` across dims, shapes, and rectangular
+        /// operators — including back-to-back reuse of the same scratch.
+        #[test]
+        fn transform_into_bit_identical_across_shapes(
+            d in 1usize..5,
+            e1 in 1usize..6, e2 in 1usize..6, e3 in 1usize..6, e4 in 1usize..6,
+            o1 in 1usize..6, o2 in 1usize..6, o3 in 1usize..6, o4 in 1usize..6,
+            seed in any::<u64>(),
+        ) {
+            let extents = [e1, e2, e3, e4];
+            let outs = [o1, o2, o3, o4];
+            let mut scratch = TransformScratch::new();
+            // Two different problems back to back through one scratch:
+            // reuse must never leak state between calls.
+            for round in 0..2u64 {
+                let (t, hs) = random_problem(d, &extents, &outs, seed ^ round);
+                let hr: Vec<&Tensor> = hs.iter().collect();
+                let want = madness_tensor::general_transform(&t, &hr);
+                let mut got = det_tensor(want.shape(), !seed ^ round); // garbage
+                transform_into(&t, &hr, &mut scratch, &mut got);
+                prop_assert_eq!(got.as_slice(), want.as_slice());
+            }
+        }
+
+        /// The fused-coefficient accumulate equals pre-scaling the
+        /// tensor and accumulating, bit for bit.
+        #[test]
+        fn scaled_accumulate_bit_identical(
+            d in 1usize..5,
+            k in 1usize..6,
+            coeff in -4.0f64..4.0,
+            seed in any::<u64>(),
+        ) {
+            let t = det_tensor(Shape::cube(d, k), seed);
+            let hs: Vec<Tensor> = (0..d)
+                .map(|i| det_tensor(Shape::matrix(k, k), seed ^ (i as u64 + 1)))
+                .collect();
+            let hr: Vec<&Tensor> = hs.iter().collect();
+            let mut scratch = TransformScratch::new();
+            let mut scaled = t.clone();
+            scaled.scale(coeff);
+            let base = det_tensor(Shape::cube(d, k), seed ^ 0xABCD);
+            let mut want = base.clone();
+            let mut got = base.clone();
+            transform_accumulate(&scaled, &hr, &mut scratch, &mut want);
+            transform_accumulate_scaled(&t, coeff, &hr, &mut scratch, &mut got);
+            prop_assert_eq!(got.as_slice(), want.as_slice());
+        }
+
+        /// Rank-reduced: fused-coefficient accumulate equals pre-scaled
+        /// accumulate bit for bit, for every effective-rank pattern.
+        #[test]
+        fn scaled_rr_accumulate_bit_identical(
+            d in 1usize..5,
+            k in 1usize..6,
+            coeff in -4.0f64..4.0,
+            kr1 in 1usize..6, kr2 in 1usize..6, kr3 in 1usize..6, kr4 in 1usize..6,
+            seed in any::<u64>(),
+        ) {
+            let t = det_tensor(Shape::cube(d, k), seed);
+            let hs: Vec<Tensor> = (0..d)
+                .map(|i| det_tensor(Shape::matrix(k, k), seed ^ (i as u64 + 11)))
+                .collect();
+            let hr: Vec<&Tensor> = hs.iter().collect();
+            let krs_all = [kr1.min(k), kr2.min(k), kr3.min(k), kr4.min(k)];
+            let krs = &krs_all[..d];
+            let mut scratch = TransformScratch::new();
+            let mut scaled = t.clone();
+            scaled.scale(coeff);
+            let base = det_tensor(Shape::cube(d, k), seed ^ 0x1234);
+            let mut want = base.clone();
+            let mut got = base.clone();
+            transform_rr_accumulate(&scaled, &hr, krs, &mut scratch, &mut want);
+            transform_rr_accumulate_scaled(&t, coeff, &hr, krs, &mut scratch, &mut got);
+            prop_assert_eq!(got.as_slice(), want.as_slice());
+        }
+
+        /// Rank-reduced scratch path matches the allocating rank-reduced
+        /// API bit for bit.
+        #[test]
+        fn rr_accumulate_matches_allocating_rr(
+            d in 1usize..5,
+            k in 2usize..6,
+            kr in 1usize..6,
+            seed in any::<u64>(),
+        ) {
+            let kr = kr.min(k);
+            let t = det_tensor(Shape::cube(d, k), seed);
+            let hs: Vec<Tensor> = (0..d)
+                .map(|i| det_tensor(Shape::matrix(k, k), seed ^ (i as u64 + 29)))
+                .collect();
+            let hr: Vec<&Tensor> = hs.iter().collect();
+            let krs = vec![kr; d];
+            let want = transform_rr(&t, &hr, &krs);
+            let mut got = Tensor::zeros(Shape::cube(d, k));
+            let mut scratch = TransformScratch::new();
+            transform_rr_accumulate(&t, &hr, &krs, &mut scratch, &mut got);
+            prop_assert_eq!(got.as_slice(), want.as_slice());
+        }
+
+        /// `transform_dim_into` matches the allocating `transform_dim`
+        /// bit for bit for rectangular operators.
+        #[test]
+        fn transform_dim_into_bit_identical(
+            e1 in 1usize..6, e2 in 1usize..6, e3 in 1usize..6,
+            cols in 1usize..6,
+            seed in any::<u64>(),
+        ) {
+            let t = det_tensor(Shape::new(&[e1, e2, e3]), seed);
+            let h = det_tensor(Shape::matrix(e1, cols), seed ^ 99);
+            let want = transform_dim(&t, &h);
+            let mut out = Tensor::zeros(want.shape());
+            transform_dim_into(&t, &h, &mut out);
+            prop_assert_eq!(out.as_slice(), want.as_slice());
+        }
+
+        /// The thread-local `Workspace` gives the same bits as a fresh
+        /// scratch, no matter how many differently-shaped transforms
+        /// have been run through it before.
+        #[test]
+        fn workspace_reuse_bit_identical(
+            d in 1usize..5,
+            k in 1usize..6,
+            warm_d in 1usize..5,
+            warm_k in 1usize..6,
+            seed in any::<u64>(),
+        ) {
+            // Warm the workspace with a differently-shaped problem.
+            let (wt, whs) = {
+                let t = det_tensor(Shape::cube(warm_d, warm_k), seed ^ 0xFEED);
+                let hs: Vec<Tensor> = (0..warm_d)
+                    .map(|i| det_tensor(Shape::matrix(warm_k, warm_k), seed ^ (i as u64 + 41)))
+                    .collect();
+                (t, hs)
+            };
+            let whr: Vec<&Tensor> = whs.iter().collect();
+            Workspace::with(|ws| {
+                let mut out = Tensor::zeros(Shape::cube(warm_d, warm_k));
+                transform_into(&wt, &whr, ws.scratch(), &mut out);
+            });
+            // Now the real check.
+            let t = det_tensor(Shape::cube(d, k), seed);
+            let hs: Vec<Tensor> = (0..d)
+                .map(|i| det_tensor(Shape::matrix(k, k), seed ^ (i as u64 + 71)))
+                .collect();
+            let hr: Vec<&Tensor> = hs.iter().collect();
+            let want = transform(&t, &hr);
+            let got = Workspace::with(|ws| {
+                let mut out = Tensor::zeros(Shape::cube(d, k));
+                transform_into(&t, &hr, ws.scratch(), &mut out);
+                out
+            });
+            prop_assert_eq!(got.as_slice(), want.as_slice());
+        }
+    }
+}

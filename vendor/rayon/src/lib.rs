@@ -1,77 +1,718 @@
-//! Offline drop-in subset of the [rayon](https://docs.rs/rayon) API.
+//! Offline drop-in subset of the [rayon](https://docs.rs/rayon) API,
+//! backed by a persistent work-stealing executor.
 //!
 //! The build environment has no access to crates.io, so the workspace
-//! vendors the *exact* parallel-iterator surface it uses:
-//! `slice.par_iter()` followed by `map`, `filter_map`, `map_init`, then
-//! `collect()` or rayon's two-argument `reduce(identity, op)`.
+//! vendors the parallel-iterator surface it uses: `slice.par_iter()`
+//! followed by `map`, `filter_map`, `map_init`, then `collect()` or
+//! rayon's two-argument `reduce(identity, op)`, plus `par_chunks()` and
+//! `join()`.
 //!
-//! Work is executed on scoped `std` threads, chunked across the
-//! available cores. A global in-flight budget keeps recursive callers
-//! (e.g. tree projection, which calls `par_iter` from inside a parallel
-//! job) from spawning an unbounded number of threads: once the budget is
-//! exhausted, inner calls degrade to sequential execution on the calling
-//! thread. Results are always concatenated in input order, so the
-//! output is deterministic and identical to sequential execution.
+//! # Execution model
+//!
+//! Unlike the previous shim (fresh scoped threads + static equal chunks
+//! per call), this version keeps one lazily-initialized global pool of
+//! worker threads for the life of the process:
+//!
+//! * each worker owns a deque — the owner pushes/pops at the back
+//!   (LIFO, cache-hot), thieves steal the front *half* (FIFO, oldest =
+//!   biggest ranges first);
+//! * non-worker callers inject tasks through a shared injector queue and
+//!   then participate in stealing themselves while they wait, so the
+//!   calling thread is never idle;
+//! * idle workers park on a condvar and are woken when work is pushed;
+//! * a parallel run hands the *whole* index range to the calling thread,
+//!   which splits off the upper half on demand — only while some worker
+//!   is hungry (parked or actively seeking) — down to a minimum grain of
+//!   `len / (workers * 32)` items. Uniform workloads therefore pay almost
+//!   no scheduling overhead, while a single heavy subtree keeps getting
+//!   subdivided and redistributed instead of serializing its static
+//!   chunk.
+//!
+//! Results are always written back by input index and reductions fold in
+//! input order, so every combinator is deterministic and **bit-identical
+//! to sequential execution** regardless of how work was stolen.
+//!
+//! On a single-core host (or with `RAYON_NUM_THREADS=1`) no pool is
+//! spawned at all and every combinator degrades to a plain sequential
+//! loop on the caller — same results, zero overhead.
+//!
+//! Executor behaviour is observable through [`executor_stats`]: runs,
+//! tasks, steals, splits, park events/time, and the adaptive grain sizes
+//! chosen, ready to be re-exported through the `madness-trace` Recorder.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Everything user code is expected to `use rayon::prelude::*;` for.
 pub mod prelude {
-    pub use crate::IntoParallelRefIterator;
+    pub use crate::{IntoParallelRefIterator, ParallelSlice};
 }
 
-/// Global count of worker threads currently spawned by this shim.
-static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+// ---------------------------------------------------------------------------
+// Executor statistics
+// ---------------------------------------------------------------------------
 
-fn max_workers() -> usize {
+/// Monotonic counters describing executor activity since process start.
+///
+/// Snapshot them with [`executor_stats`]; compute deltas across a region
+/// of interest to attribute work (e.g. per benchmark phase).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Worker threads in the global pool (0 = inline/sequential mode).
+    pub workers: u64,
+    /// Top-level parallel runs started (including inline ones).
+    pub runs: u64,
+    /// Runs executed inline on the caller (no pool, or trivial size).
+    pub inline_runs: u64,
+    /// Queued tasks executed (ranges + join jobs), excluding the
+    /// caller-executed root range of each run.
+    pub tasks: u64,
+    /// Tasks taken from another worker's deque or the injector.
+    pub steals: u64,
+    /// Range splits performed on demand (each creates one new task).
+    pub splits: u64,
+    /// Times a worker parked because no work was available.
+    pub parks: u64,
+    /// Total nanoseconds workers spent parked.
+    pub parked_ns: u64,
+    /// `join()` calls that reached the pool.
+    pub joins: u64,
+    /// Grain (min items per bite) chosen by the most recent run.
+    pub grain_last: u64,
+    /// Smallest grain any run has chosen (0 until the first run).
+    pub grain_min: u64,
+    /// Largest grain any run has chosen.
+    pub grain_max: u64,
+}
+
+struct Stats {
+    runs: AtomicU64,
+    inline_runs: AtomicU64,
+    tasks: AtomicU64,
+    steals: AtomicU64,
+    splits: AtomicU64,
+    parks: AtomicU64,
+    parked_ns: AtomicU64,
+    joins: AtomicU64,
+    grain_last: AtomicU64,
+    grain_min: AtomicU64,
+    grain_max: AtomicU64,
+}
+
+static STATS: Stats = Stats {
+    runs: AtomicU64::new(0),
+    inline_runs: AtomicU64::new(0),
+    tasks: AtomicU64::new(0),
+    steals: AtomicU64::new(0),
+    splits: AtomicU64::new(0),
+    parks: AtomicU64::new(0),
+    parked_ns: AtomicU64::new(0),
+    joins: AtomicU64::new(0),
+    grain_last: AtomicU64::new(0),
+    grain_min: AtomicU64::new(u64::MAX),
+    grain_max: AtomicU64::new(0),
+};
+
+/// Snapshots the executor's monotonic counters.
+pub fn executor_stats() -> ExecutorStats {
+    let grain_min = STATS.grain_min.load(Ordering::Relaxed);
+    ExecutorStats {
+        workers: POOL
+            .get()
+            .and_then(|p| p.as_ref())
+            .map_or(0, |p| p.workers as u64),
+        runs: STATS.runs.load(Ordering::Relaxed),
+        inline_runs: STATS.inline_runs.load(Ordering::Relaxed),
+        tasks: STATS.tasks.load(Ordering::Relaxed),
+        steals: STATS.steals.load(Ordering::Relaxed),
+        splits: STATS.splits.load(Ordering::Relaxed),
+        parks: STATS.parks.load(Ordering::Relaxed),
+        parked_ns: STATS.parked_ns.load(Ordering::Relaxed),
+        joins: STATS.joins.load(Ordering::Relaxed),
+        grain_last: STATS.grain_last.load(Ordering::Relaxed),
+        grain_min: if grain_min == u64::MAX { 0 } else { grain_min },
+        grain_max: STATS.grain_max.load(Ordering::Relaxed),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pool plumbing
+// ---------------------------------------------------------------------------
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Completion flag for a run or a stolen `join` job.
+///
+/// A pure atomic is sufficient: waiters spin-steal on [`Latch::probe`]
+/// rather than blocking on a condvar, and the setter performs no access
+/// after its release store, so a waiter that observes `true` may free
+/// the latch immediately without racing the setter.
+struct Latch {
+    done: AtomicBool,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Latch {
+            done: AtomicBool::new(false),
+        }
+    }
+    fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+    fn set(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+}
+
+/// Shared state of one top-level parallel run.
+struct RunCore {
+    /// The run body, called with disjoint `[start, end)` index ranges.
+    ///
+    /// The `'static` is a lie told by [`parallel_run`]: the reference
+    /// points into its caller's stack frame. Soundness argument: every
+    /// task holding an `Arc<RunCore>` is counted in `remaining`, and
+    /// `parallel_run` does not return before `remaining` hits zero
+    /// (observed through `latch`), so the borrow can never be used after
+    /// the frame unwinds.
+    exec: &'static (dyn Fn(usize, usize) + Sync),
+    /// Outstanding range tasks (the root range counts as one).
+    remaining: AtomicUsize,
+    /// Minimum items per execution bite; ranges never split below this.
+    grain: usize,
+    /// First panic raised by any range, rethrown by the caller.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    latch: Latch,
+}
+
+impl RunCore {
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = lock(&self.panic);
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    /// Marks one task complete; sets the latch when it was the last.
+    fn finish(&self) {
+        // AcqRel RMW chain: the final decrement synchronizes with every
+        // earlier worker's decrement, so the Release store in `set`
+        // publishes *all* workers' writes to the Acquire prober.
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.latch.set();
+        }
+    }
+}
+
+/// Type-erased pointer to a stack-allocated `join` job.
+#[derive(Clone, Copy)]
+struct JobRef {
+    data: *const (),
+    execute: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef is only ever executed once, and the StackJob it
+// points at outlives it (the joining caller blocks on the job's latch
+// before its frame can unwind).
+unsafe impl Send for JobRef {}
+
+enum Task {
+    /// An index range of a parallel run.
+    Range(Arc<RunCore>, usize, usize),
+    /// The deferred half of a `join`.
+    Job(JobRef),
+}
+
+struct Pool {
+    workers: usize,
+    /// Per-worker deques: owner pushes/pops back, thieves drain front.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Entry queue for tasks pushed by non-worker threads.
+    injector: Mutex<VecDeque<Task>>,
+    /// Approximate count of queued tasks (may transiently overcount
+    /// while a thief relocates its surplus; never undercounts).
+    queued: AtomicUsize,
+    /// Workers currently parked on `sleep_cv`.
+    parked: AtomicUsize,
+    /// Workers actively looking for work after a failed first pass.
+    seeking: AtomicUsize,
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    /// Rotates the first victim so thieves spread across deques.
+    steal_rot: AtomicUsize,
+}
+
+static POOL: OnceLock<Option<&'static Pool>> = OnceLock::new();
+
+/// Worker-count override; 0 means "auto" (env var, then hardware).
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the executor's worker-thread count.
+///
+/// Only effective before the first parallel call creates the global
+/// pool; later calls are ignored. Values `< 2` force inline
+/// (sequential) execution.
+pub fn set_worker_threads(n: usize) {
+    WORKER_OVERRIDE.store(n, Ordering::Release);
+}
+
+fn configured_workers() -> usize {
+    let o = WORKER_OVERRIDE.load(Ordering::Acquire);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
 }
 
-/// Runs `f` over `items`, splitting into per-thread chunks when the
-/// thread budget allows, and returns the per-item results in order.
-fn run_chunked<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&'a T) -> R + Sync,
-{
-    let cap = max_workers();
-    let want = items.len().min(cap).saturating_sub(1);
-    // Parallelism budget: claim extra worker slots if any are free.
-    let claimed = if want > 0 {
-        let prev = ACTIVE_WORKERS.fetch_add(want, Ordering::AcqRel);
-        if prev >= cap {
-            ACTIVE_WORKERS.fetch_sub(want, Ordering::AcqRel);
-            0
-        } else {
-            want
+fn pool_get() -> Option<&'static Pool> {
+    *POOL.get_or_init(|| {
+        let n = configured_workers();
+        if n < 2 {
+            return None;
         }
-    } else {
-        0
-    };
-    if claimed == 0 {
-        return items.iter().map(f).collect();
-    }
-    let threads = claimed + 1;
-    let chunk = items.len().div_ceil(threads);
-    let out = std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|c| scope.spawn(|| c.iter().map(&f).collect::<Vec<R>>()))
-            .collect();
-        let mut out = Vec::with_capacity(items.len());
-        for h in handles {
-            out.extend(h.join().expect("rayon shim worker panicked"));
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            workers: n,
+            deques: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            queued: AtomicUsize::new(0),
+            parked: AtomicUsize::new(0),
+            seeking: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            steal_rot: AtomicUsize::new(0),
+        }));
+        for i in 0..n {
+            std::thread::Builder::new()
+                .name(format!("madness-rayon-{i}"))
+                .spawn(move || worker_main(pool, i))
+                .expect("failed to spawn executor worker");
         }
-        out
-    });
-    ACTIVE_WORKERS.fetch_sub(claimed, Ordering::AcqRel);
-    out
+        Some(pool)
+    })
 }
+
+thread_local! {
+    /// Index of the pool worker running on this thread, if any.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn worker_main(pool: &'static Pool, index: usize) {
+    WORKER_INDEX.set(Some(index));
+    loop {
+        if let Some(task) = pool.find_task(Some(index)) {
+            pool.execute(task);
+            continue;
+        }
+        // Advertise that we are hungry so busy workers start splitting,
+        // then look once more before parking.
+        pool.seeking.fetch_add(1, Ordering::AcqRel);
+        let second = pool.find_task(Some(index));
+        pool.seeking.fetch_sub(1, Ordering::AcqRel);
+        match second {
+            Some(task) => pool.execute(task),
+            None => pool.park(),
+        }
+    }
+}
+
+impl Pool {
+    /// True when someone could use more tasks right now.
+    fn hungry(&self) -> bool {
+        self.parked.load(Ordering::Acquire) > 0 || self.seeking.load(Ordering::Acquire) > 0
+    }
+
+    /// Pushes a task onto the current thread's deque (workers) or the
+    /// injector (everyone else) and wakes a parked worker if any.
+    fn push_task(&self, task: Task) {
+        match WORKER_INDEX.get() {
+            Some(i) => lock(&self.deques[i]).push_back(task),
+            None => lock(&self.injector).push_back(task),
+        }
+        // Increment *before* the parked check: a parker re-reads
+        // `queued` under `sleep_lock` before sleeping, so it either sees
+        // this task or we see it parked and take the lock to notify.
+        self.queued.fetch_add(1, Ordering::AcqRel);
+        if self.parked.load(Ordering::Acquire) > 0 {
+            let _g = lock(&self.sleep_lock);
+            self.sleep_cv.notify_one();
+        }
+    }
+
+    /// Finds a task: own deque back, then injector, then steal-half
+    /// from another worker's deque (rotating the first victim).
+    fn find_task(&self, own: Option<usize>) -> Option<Task> {
+        if let Some(i) = own {
+            let task = lock(&self.deques[i]).pop_back();
+            if let Some(task) = task {
+                self.queued.fetch_sub(1, Ordering::AcqRel);
+                return Some(task);
+            }
+        }
+        if let Some(task) = self.steal_half(&self.injector, own) {
+            return Some(task);
+        }
+        let nd = self.deques.len();
+        let start = self.steal_rot.fetch_add(1, Ordering::Relaxed);
+        for off in 0..nd {
+            let v = (start + off) % nd;
+            if Some(v) == own {
+                continue;
+            }
+            if let Some(task) = self.steal_half(&self.deques[v], own) {
+                STATS.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Takes the front half of `victim`; returns the first task and
+    /// relocates the rest to the thief's own queue.
+    fn steal_half(&self, victim: &Mutex<VecDeque<Task>>, own: Option<usize>) -> Option<Task> {
+        let mut surplus = Vec::new();
+        let task = {
+            let mut q = lock(victim);
+            let n = q.len();
+            if n == 0 {
+                return None;
+            }
+            let take = n.div_ceil(2);
+            let task = q.pop_front().expect("non-empty");
+            surplus.extend((1..take).filter_map(|_| q.pop_front()));
+            task
+        };
+        self.queued.fetch_sub(1, Ordering::AcqRel);
+        if !surplus.is_empty() {
+            let dest = match own {
+                Some(i) => &self.deques[i],
+                None => &self.injector,
+            };
+            {
+                let mut q = lock(dest);
+                q.extend(surplus);
+            }
+            // The relocated tasks are stealable again: wake helpers.
+            if self.parked.load(Ordering::Acquire) > 0 {
+                let _g = lock(&self.sleep_lock);
+                self.sleep_cv.notify_one();
+            }
+        }
+        Some(task)
+    }
+
+    fn execute(&self, task: Task) {
+        STATS.tasks.fetch_add(1, Ordering::Relaxed);
+        match task {
+            Task::Range(core, start, end) => run_range(Some(self), &core, start, end),
+            // SAFETY: the job's owner is blocked on its latch, so the
+            // StackJob behind `data` is alive; tasks are executed once.
+            Task::Job(job) => unsafe { (job.execute)(job.data) },
+        }
+    }
+
+    /// Parks until work is pushed (with a timeout as a lost-wakeup
+    /// backstop).
+    fn park(&self) {
+        STATS.parks.fetch_add(1, Ordering::Relaxed);
+        self.parked.fetch_add(1, Ordering::AcqRel);
+        let t0 = Instant::now();
+        {
+            let g = lock(&self.sleep_lock);
+            if self.queued.load(Ordering::Acquire) == 0 {
+                let _ = self
+                    .sleep_cv
+                    .wait_timeout(g, Duration::from_millis(100))
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        self.parked.fetch_sub(1, Ordering::AcqRel);
+        STATS
+            .parked_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Waits for `latch`, executing other tasks instead of blocking.
+    fn wait_latch(&self, latch: &Latch) {
+        let own = WORKER_INDEX.get();
+        let mut idle = 0u32;
+        while !latch.probe() {
+            if let Some(task) = self.find_task(own) {
+                idle = 0;
+                self.execute(task);
+            } else {
+                idle += 1;
+                if idle < 64 {
+                    std::hint::spin_loop();
+                } else if idle < 256 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+    }
+
+    /// Removes the most recently pushed occurrence of `data` from the
+    /// current thread's queue (a `join` fast path: run it inline).
+    fn try_unpush(&self, data: *const ()) -> bool {
+        let q = match WORKER_INDEX.get() {
+            Some(i) => &self.deques[i],
+            None => &self.injector,
+        };
+        let removed = {
+            let mut q = lock(q);
+            match q
+                .iter()
+                .rposition(|t| matches!(t, Task::Job(j) if std::ptr::eq(j.data, data)))
+            {
+                Some(pos) => {
+                    q.remove(pos);
+                    true
+                }
+                None => false,
+            }
+        };
+        if removed {
+            self.queued.fetch_sub(1, Ordering::AcqRel);
+        }
+        removed
+    }
+}
+
+/// Executes `[start, end)` of a run, splitting off the upper half
+/// whenever another thread is hungry and more than one grain remains.
+fn run_range(pool: Option<&Pool>, core: &Arc<RunCore>, start: usize, end: usize) {
+    let mut lo = start;
+    let mut hi = end;
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        while lo < hi {
+            if hi - lo > core.grain {
+                if let Some(p) = pool {
+                    if p.hungry() {
+                        let mid = lo + (hi - lo) / 2;
+                        core.remaining.fetch_add(1, Ordering::AcqRel);
+                        STATS.splits.fetch_add(1, Ordering::Relaxed);
+                        p.push_task(Task::Range(Arc::clone(core), mid, hi));
+                        hi = mid;
+                        continue;
+                    }
+                }
+            }
+            let bite = core.grain.min(hi - lo);
+            (core.exec)(lo, lo + bite);
+            lo += bite;
+        }
+    }));
+    if let Err(payload) = result {
+        core.record_panic(payload);
+    }
+    core.finish();
+}
+
+/// Runs `exec` over the index range `[0, n)` in parallel, blocking
+/// until every index has been processed. Panics from `exec` are
+/// rethrown here (first one wins).
+fn parallel_run(n: usize, exec: &(dyn Fn(usize, usize) + Sync)) {
+    if n == 0 {
+        return;
+    }
+    STATS.runs.fetch_add(1, Ordering::Relaxed);
+    let pool = pool_get();
+    let (Some(pool), true) = (pool, n > 1) else {
+        STATS.inline_runs.fetch_add(1, Ordering::Relaxed);
+        exec(0, n);
+        return;
+    };
+    let grain = (n / (pool.workers * 32)).max(1);
+    STATS.grain_last.store(grain as u64, Ordering::Relaxed);
+    STATS.grain_min.fetch_min(grain as u64, Ordering::Relaxed);
+    STATS.grain_max.fetch_max(grain as u64, Ordering::Relaxed);
+    // SAFETY: the 'static is erased only for storage inside RunCore;
+    // this frame blocks on `core.latch` until `remaining == 0`, i.e.
+    // until no task referencing `exec` exists anywhere.
+    let exec_static: &'static (dyn Fn(usize, usize) + Sync) = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize, usize) + Sync), &'static (dyn Fn(usize, usize) + Sync)>(
+            exec,
+        )
+    };
+    let core = Arc::new(RunCore {
+        exec: exec_static,
+        remaining: AtomicUsize::new(1),
+        grain,
+        panic: Mutex::new(None),
+        latch: Latch::new(),
+    });
+    // The caller keeps the whole range and splits on demand; it then
+    // helps drain queues until the run completes.
+    run_range(Some(pool), &core, 0, n);
+    pool.wait_latch(&core.latch);
+    let payload = lock(&core.panic).take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+enum JobResult<R> {
+    Pending,
+    Ok(R),
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// A `join` closure parked on its owner's stack until executed.
+struct StackJob<R, F: FnOnce() -> R> {
+    f: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+    latch: Latch,
+}
+
+impl<R, F: FnOnce() -> R> StackJob<R, F> {
+    fn new(f: F) -> Self {
+        StackJob {
+            f: UnsafeCell::new(Some(f)),
+            result: UnsafeCell::new(JobResult::Pending),
+            latch: Latch::new(),
+        }
+    }
+
+    fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            execute: execute_stack_job::<R, F>,
+        }
+    }
+}
+
+/// Runs a [`StackJob`] exactly once and publishes its result.
+///
+/// # Safety
+/// `data` must point to a live `StackJob<R, F>` that has not been
+/// executed yet, and no other thread may access its cells concurrently
+/// (guaranteed by single task ownership + the latch protocol).
+unsafe fn execute_stack_job<R, F: FnOnce() -> R>(data: *const ()) {
+    let job = unsafe { &*(data as *const StackJob<R, F>) };
+    let f = unsafe { &mut *job.f.get() }
+        .take()
+        .expect("join job executed twice");
+    let outcome = match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => JobResult::Ok(r),
+        Err(p) => JobResult::Panicked(p),
+    };
+    unsafe { *job.result.get() = outcome };
+    job.latch.set();
+}
+
+/// Runs `a` and `b`, potentially in parallel, and returns both results.
+///
+/// `b` is offered to the pool while the calling thread runs `a`; if no
+/// worker took it by then, the caller runs it inline (classic
+/// work-stealing `join`). Panics are propagated after *both* closures
+/// have finished — `a`'s panic takes precedence.
+pub fn join<A, RA, B, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    RA: Send,
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    let Some(pool) = pool_get() else {
+        return (a(), b());
+    };
+    STATS.joins.fetch_add(1, Ordering::Relaxed);
+    let job = StackJob::new(b);
+    let job_ref = job.as_job_ref();
+    pool.push_task(Task::Job(job_ref));
+    let ra = catch_unwind(AssertUnwindSafe(a));
+    if pool.try_unpush(job_ref.data) {
+        // Nobody stole b: run it on this thread.
+        // SAFETY: unpush succeeded, so we hold the only reference to the
+        // pending job and it has not run.
+        unsafe { (job_ref.execute)(job_ref.data) };
+    } else {
+        // b is queued elsewhere or already running: help out until done.
+        pool.wait_latch(&job.latch);
+    }
+    let rb = job.result.into_inner();
+    match ra {
+        Err(pa) => resume_unwind(pa),
+        Ok(ra) => match rb {
+            JobResult::Ok(rb) => (ra, rb),
+            JobResult::Panicked(pb) => resume_unwind(pb),
+            JobResult::Pending => unreachable!("join job finished without a result"),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ordered collection helpers
+// ---------------------------------------------------------------------------
+
+/// A raw pointer blessed for cross-thread use.
+struct SendPtr<T>(*mut T);
+
+// Manual impls: the derive would demand `T: Clone`/`T: Copy`.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: used only to write disjoint indices of one allocation from
+// tasks whose lifetimes are bounded by the owning `parallel_run` call.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Evaluates `g(i)` for every `i < n` in parallel and returns the
+/// results in index order.
+fn par_collect_indexed<R, G>(n: usize, g: G) -> Vec<R>
+where
+    R: Send,
+    G: Fn(usize) -> R + Sync,
+{
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    let base = SendPtr(slots.as_mut_ptr());
+    parallel_run(n, &move |s, e| {
+        // Bind the wrapper itself so closure capture takes the Sync
+        // `SendPtr`, not the raw pointer field (2021 disjoint capture).
+        let base = base;
+        for i in s..e {
+            let val = g(i);
+            // SAFETY: tasks cover disjoint index ranges, so each slot is
+            // written exactly once; the overwritten value is `None`.
+            unsafe { base.0.add(i).write(Some(val)) };
+        }
+    });
+    slots
+        .into_iter()
+        .map(|o| o.expect("every index filled"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-iterator surface
+// ---------------------------------------------------------------------------
 
 /// `collection.par_iter()` — entry point matching rayon's trait of the
 /// same name for `&Vec<T>` / `&[T]`.
@@ -93,6 +734,23 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     type Item = T;
     fn par_iter(&'a self) -> ParIter<'a, T> {
         ParIter { items: self }
+    }
+}
+
+/// `slice.par_chunks(n)` — rayon's parallel chunk iterator.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over contiguous chunks of `chunk_size` items
+    /// (the last chunk may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunks {
+            items: self,
+            chunk_size,
+        }
     }
 }
 
@@ -126,7 +784,7 @@ impl<'a, T: Sync> ParIter<'a, T> {
         }
     }
 
-    /// rayon's `map_init`: each worker thread builds one scratch value
+    /// rayon's `map_init`: each execution bite builds one scratch value
     /// with `init` and reuses it across the items it processes.
     pub fn map_init<S, R, I, F>(self, init: I, f: F) -> ParMapInit<'a, T, I, F>
     where
@@ -156,17 +814,24 @@ where
 {
     /// Collects the mapped items, preserving input order.
     pub fn collect<C: FromIterator<R>>(self) -> C {
-        run_chunked(self.items, &self.f).into_iter().collect()
+        let items = self.items;
+        let f = &self.f;
+        par_collect_indexed(items.len(), |i| f(&items[i]))
+            .into_iter()
+            .collect()
     }
 
     /// rayon's two-argument reduce: folds the mapped items with `op`,
-    /// starting from `identity()`.
+    /// starting from `identity()`, in input order (bit-identical to a
+    /// sequential fold).
     pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
     where
         ID: Fn() -> R + Sync,
         OP: Fn(R, R) -> R + Sync,
     {
-        run_chunked(self.items, &self.f)
+        let items = self.items;
+        let f = &self.f;
+        par_collect_indexed(items.len(), |i| f(&items[i]))
             .into_iter()
             .fold(identity(), op)
     }
@@ -186,7 +851,9 @@ where
 {
     /// Collects the `Some` results, preserving input order.
     pub fn collect<C: FromIterator<R>>(self) -> C {
-        run_chunked(self.items, &self.f)
+        let items = self.items;
+        let f = &self.f;
+        par_collect_indexed(items.len(), |i| f(&items[i]))
             .into_iter()
             .flatten()
             .collect()
@@ -218,7 +885,9 @@ where
 {
     /// Collects the flattened items, preserving input order.
     pub fn collect<C: FromIterator<R::Item>>(self) -> C {
-        run_chunked(self.items, &self.f)
+        let items = self.items;
+        let f = &self.f;
+        par_collect_indexed(items.len(), |i| f(&items[i]))
             .into_iter()
             .flatten()
             .flatten()
@@ -241,32 +910,109 @@ where
     F: Fn(&mut S, &'a T) -> R + Sync,
 {
     /// Collects the mapped items, preserving input order. The scratch
-    /// state is created once per chunk (= per worker thread).
+    /// state is created once per contiguous execution bite (≥ grain
+    /// items) and reused across that bite, like rayon's per-thread init.
     pub fn collect<C: FromIterator<R>>(self) -> C {
+        let items = self.items;
         let init = &self.init;
         let f = &self.f;
-        // One scratch per contiguous chunk: reuse it across that chunk's
-        // items, exactly like rayon's per-thread init.
-        let cap = max_workers().max(1);
-        let chunk = self.items.len().div_ceil(cap).max(1);
-        let per_chunk = move |c: &'a [T]| {
+        let n = items.len();
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+        let base = SendPtr(slots.as_mut_ptr());
+        parallel_run(n, &move |s, e| {
+            let base = base;
             let mut state = init();
-            c.iter().map(|t| f(&mut state, t)).collect::<Vec<R>>()
-        };
-        let chunks: Vec<&'a [T]> = self.items.chunks(chunk).collect();
-        run_chunked(&chunks, |c| per_chunk(c))
+            for (i, item) in items.iter().enumerate().take(e).skip(s) {
+                let val = f(&mut state, item);
+                // SAFETY: disjoint ranges; each slot written exactly
+                // once over a `None`.
+                unsafe { base.0.add(i).write(Some(val)) };
+            }
+        });
+        slots
             .into_iter()
-            .flatten()
+            .map(|o| o.expect("every index filled"))
             .collect()
+    }
+}
+
+/// Result of [`ParallelSlice::par_chunks`].
+pub struct ParChunks<'a, T> {
+    items: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Maps each chunk through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParChunksMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a [T]) -> R + Sync,
+    {
+        ParChunksMap {
+            items: self.items,
+            chunk_size: self.chunk_size,
+            f,
+        }
+    }
+}
+
+/// Result of [`ParChunks::map`].
+pub struct ParChunksMap<'a, T, F> {
+    items: &'a [T],
+    chunk_size: usize,
+    f: F,
+}
+
+impl<'a, T, R, F> ParChunksMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a [T]) -> R + Sync,
+{
+    fn chunk(&self, ci: usize) -> &'a [T] {
+        let lo = ci * self.chunk_size;
+        let hi = (lo + self.chunk_size).min(self.items.len());
+        &self.items[lo..hi]
+    }
+
+    /// Collects per-chunk results, preserving chunk order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let n = self.items.len().div_ceil(self.chunk_size);
+        par_collect_indexed(n, |ci| (self.f)(self.chunk(ci)))
+            .into_iter()
+            .collect()
+    }
+
+    /// Folds per-chunk results with `op` in chunk order.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        let n = self.items.len().div_ceil(self.chunk_size);
+        par_collect_indexed(n, |ci| (self.f)(self.chunk(ci)))
+            .into_iter()
+            .fold(identity(), op)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Every test forces a real 4-worker pool (the CI container may
+    /// report a single core, which would otherwise mean inline mode).
+    fn setup() {
+        set_worker_threads(4);
+        assert!(pool_get().is_some(), "test pool must exist");
+    }
 
     #[test]
     fn map_collect_preserves_order() {
+        setup();
         let v: Vec<u64> = (0..10_000).collect();
         let out: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
         assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
@@ -274,6 +1020,7 @@ mod tests {
 
     #[test]
     fn filter_map_keeps_order() {
+        setup();
         let v: Vec<u64> = (0..1000).collect();
         let out: Vec<u64> = v
             .par_iter()
@@ -284,6 +1031,7 @@ mod tests {
 
     #[test]
     fn reduce_matches_sequential() {
+        setup();
         let v: Vec<u64> = (1..=100).collect();
         let sum = v
             .par_iter()
@@ -297,6 +1045,7 @@ mod tests {
 
     #[test]
     fn map_init_reuses_state_within_chunk() {
+        setup();
         let v: Vec<u64> = (0..64).collect();
         let out: Vec<u64> = v
             .par_iter()
@@ -313,6 +1062,7 @@ mod tests {
 
     #[test]
     fn nested_parallelism_terminates() {
+        setup();
         fn rec(depth: usize) -> u64 {
             if depth == 0 {
                 return 1;
@@ -323,5 +1073,212 @@ mod tests {
                 .reduce(|| 0, |a, b| a + b)
         }
         assert_eq!(rec(5), 4u64.pow(5));
+    }
+
+    /// Regression for the old shim's thread-budget bug: its `fetch_add`
+    /// claim admitted `prev + want > cap` whenever `prev < cap`, so
+    /// nested `par_iter` could spawn more threads than cores. The pool
+    /// executes everything on a *fixed* set of worker threads: nested
+    /// parallelism must never observe more than `workers` distinct
+    /// pool threads, nor more than `workers` concurrent executions on
+    /// pool threads.
+    #[test]
+    fn nested_calls_never_oversubscribe_pool() {
+        setup();
+        static CUR: AtomicUsize = AtomicUsize::new(0);
+        static HIGH: AtomicUsize = AtomicUsize::new(0);
+        let names = Mutex::new(std::collections::BTreeSet::new());
+
+        fn spin(units: u64) -> u64 {
+            let mut acc = 0u64;
+            for i in 0..units * 2000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        }
+
+        thread_local! {
+            // Re-entrancy depth: a worker waiting inside a nested run
+            // may steal and execute another of our tasks on the same
+            // thread; only the outermost entry counts as "this thread
+            // is busy".
+            static DEPTH: Cell<usize> = const { Cell::new(0) };
+        }
+
+        let rec = |depth: usize| {
+            fn go(depth: usize, names: &Mutex<std::collections::BTreeSet<String>>) -> u64 {
+                let on_worker = WORKER_INDEX.get().is_some();
+                let outermost = on_worker && DEPTH.with(|d| d.replace(d.get() + 1)) == 0;
+                if outermost {
+                    let c = CUR.fetch_add(1, Ordering::SeqCst) + 1;
+                    HIGH.fetch_max(c, Ordering::SeqCst);
+                    if let Some(name) = std::thread::current().name() {
+                        names.lock().unwrap().insert(name.to_string());
+                    }
+                }
+                let kids: Vec<u64> = (0..4).collect();
+                let out = kids
+                    .par_iter()
+                    .map(|k| {
+                        if depth == 0 {
+                            spin(*k + 1)
+                        } else {
+                            go(depth - 1, names)
+                        }
+                    })
+                    .reduce(|| 0, |a, b| a.wrapping_add(b));
+                if on_worker {
+                    DEPTH.with(|d| d.set(d.get() - 1));
+                }
+                if outermost {
+                    CUR.fetch_sub(1, Ordering::SeqCst);
+                }
+                out
+            }
+            go(depth, &names)
+        };
+        let _ = rec(4);
+        let workers = executor_stats().workers as usize;
+        assert!(workers >= 4);
+        let distinct = names.lock().unwrap().len();
+        assert!(
+            distinct <= workers,
+            "saw {distinct} distinct pool threads, pool has {workers}"
+        );
+        assert!(
+            HIGH.load(Ordering::SeqCst) <= workers,
+            "worker-side concurrency {} exceeded pool size {}",
+            HIGH.load(Ordering::SeqCst),
+            workers
+        );
+    }
+
+    #[test]
+    fn skewed_costs_preserve_order_and_values() {
+        setup();
+        // Adversarial skew: item i costs ~ (i % 37)^3 spins, so static
+        // equal chunking would leave one chunk dominant. Results must
+        // still come back in input order with exact values.
+        let v: Vec<u64> = (0..4096).collect();
+        let f = |x: &u64| {
+            let mut acc = *x;
+            let spins = (x % 37) * (x % 37) * (x % 37);
+            for i in 0..spins {
+                acc = acc.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(i);
+            }
+            acc
+        };
+        let par: Vec<u64> = v.par_iter().map(f).collect();
+        let seq: Vec<u64> = v.iter().map(f).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn float_reduce_is_bit_identical_to_sequential() {
+        setup();
+        // Non-associative float op: any reordering changes the bits.
+        let v: Vec<f64> = (0..2000).map(|i| (i as f64).sin() * 1e3).collect();
+        let par = v
+            .par_iter()
+            .map(|x| x / 3.0)
+            .reduce(|| 0.0, |a, b| a * 0.5 + b);
+        let seq = v.iter().map(|x| x / 3.0).fold(0.0, |a, b| a * 0.5 + b);
+        assert_eq!(par.to_bits(), seq.to_bits());
+    }
+
+    #[test]
+    fn par_chunks_matches_sequential_chunks() {
+        setup();
+        let v: Vec<u64> = (0..1003).collect();
+        for size in [1, 7, 128, 1003, 5000] {
+            let par: Vec<u64> = v.par_chunks(size).map(|c| c.iter().sum()).collect();
+            let seq: Vec<u64> = v.chunks(size).map(|c| c.iter().sum()).collect();
+            assert_eq!(par, seq, "chunk size {size}");
+        }
+    }
+
+    #[test]
+    fn join_runs_both_closures() {
+        setup();
+        let (a, b) = join(|| 2 + 2, || "ok".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_nests() {
+        setup();
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(fib(16), 987);
+    }
+
+    #[test]
+    fn join_propagates_panic_from_b() {
+        setup();
+        let caught = std::panic::catch_unwind(|| {
+            join(|| 1, || -> u64 { panic!("b blew up") });
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn join_panic_in_a_still_waits_for_b() {
+        setup();
+        let b_ran = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            join(
+                || -> u64 { panic!("a blew up") },
+                || b_ran.fetch_add(1, Ordering::SeqCst),
+            );
+        }));
+        assert!(caught.is_err());
+        assert_eq!(b_ran.load(Ordering::SeqCst), 1, "b must complete");
+    }
+
+    #[test]
+    fn panic_in_map_propagates_once() {
+        setup();
+        let v: Vec<u64> = (0..512).collect();
+        let caught = std::panic::catch_unwind(|| {
+            let _: Vec<u64> = v
+                .par_iter()
+                .map(|x| if *x == 300 { panic!("item 300") } else { *x })
+                .collect();
+        });
+        assert!(caught.is_err());
+        // The executor must still be usable afterwards.
+        let ok: Vec<u64> = v.par_iter().map(|x| x + 1).collect();
+        assert_eq!(ok.len(), 512);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        setup();
+        let empty: Vec<u64> = Vec::new();
+        let out: Vec<u64> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = vec![41u64];
+        let out: Vec<u64> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn stats_are_monotone_and_populated() {
+        setup();
+        let before = executor_stats();
+        let v: Vec<u64> = (0..10_000).collect();
+        let _: Vec<u64> = v.par_iter().map(|x| x.wrapping_mul(3)).collect();
+        let after = executor_stats();
+        assert!(after.runs > before.runs);
+        assert!(after.grain_last >= 1);
+        assert!(after.grain_min >= 1);
+        assert!(after.grain_max >= after.grain_min);
+        assert!(after.tasks >= before.tasks);
     }
 }

@@ -1,0 +1,166 @@
+//! Property tests: the work-stealing executor is observationally
+//! identical to sequential iteration — same values, same order, same
+//! float bits — under adversarially skewed per-item costs, including
+//! nested parallel calls from inside worker tasks.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+
+/// Forces a real multi-worker pool even on single-core CI hosts, so the
+/// properties actually exercise stealing and splitting.
+fn setup() {
+    rayon::set_worker_threads(4);
+}
+
+/// Burns CPU proportionally to `units`, returning a value that depends
+/// on the work done (so the loop cannot be optimized away).
+fn spin(units: u64) -> u64 {
+    let mut acc = units;
+    for i in 0..units {
+        acc = acc.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(i);
+    }
+    acc
+}
+
+/// Per-item cost skew: a few items are ~1000x more expensive, which is
+/// exactly the shape that serialized the old static-chunking shim.
+fn cost_of(x: u64, skew: u64) -> u64 {
+    if x % 97 == 0 {
+        1000 * (skew + 1)
+    } else {
+        x % (skew + 2)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `map().collect()` returns exactly the sequential results in
+    /// input order, no matter how the per-item costs are skewed.
+    #[test]
+    fn collect_matches_sequential_under_skew(
+        items in proptest::collection::vec(any::<u64>(), 0..700),
+        skew in 0u64..60,
+    ) {
+        setup();
+        let f = |x: &u64| x.wrapping_add(spin(cost_of(*x, skew)));
+        let par: Vec<u64> = items.par_iter().map(f).collect();
+        let seq: Vec<u64> = items.iter().map(f).collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    /// Two-argument `reduce` folds in input order: with a
+    /// non-associative float op the result is bit-identical to the
+    /// sequential fold.
+    #[test]
+    fn float_reduce_bit_identical(
+        items in proptest::collection::vec(0.0f64..1.0, 1..500),
+        skew in 0u64..40,
+    ) {
+        setup();
+        let f = |x: &f64| {
+            let burn = spin(cost_of(x.to_bits() >> 40, skew));
+            // `burn` folds in as an exactly-representable tiny term so
+            // the spin cannot be elided but bits stay deterministic.
+            x / 3.0 + ((burn & 1) as f64) * 0.0
+        };
+        let par = items.par_iter().map(f).reduce(|| 0.25, |a, b| a * 0.5 + b);
+        let seq = items.iter().map(f).fold(0.25, |a, b| a * 0.5 + b);
+        prop_assert_eq!(par.to_bits(), seq.to_bits());
+    }
+
+    /// `filter_map().collect()` keeps only the `Some`s, in order.
+    #[test]
+    fn filter_map_matches_sequential(
+        items in proptest::collection::vec(any::<u64>(), 0..600),
+        modulus in 2u64..9,
+    ) {
+        setup();
+        let f = |x: &u64| (x % modulus == 0).then(|| x.wrapping_mul(3));
+        let par: Vec<u64> = items.par_iter().filter_map(f).collect();
+        let seq: Vec<u64> = items.iter().filter_map(f).collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    /// Nested parallelism: an outer `par_iter` whose items each run an
+    /// inner `par_iter` (with skewed costs) still reproduces the
+    /// sequential nested result exactly.
+    #[test]
+    fn nested_calls_match_sequential(
+        outer in proptest::collection::vec(any::<u64>(), 1..40),
+        inner_len in 1usize..40,
+        skew in 0u64..30,
+    ) {
+        setup();
+        let inner_of = |x: u64| -> Vec<u64> {
+            (0..inner_len as u64).map(|i| x.wrapping_add(i)).collect()
+        };
+        let g = |y: &u64| y.wrapping_add(spin(cost_of(*y, skew)));
+        let par: Vec<u64> = outer
+            .par_iter()
+            .map(|x| {
+                let inner = inner_of(*x);
+                let folded: u64 = inner
+                    .par_iter()
+                    .map(g)
+                    .reduce(|| 0, |a, b| a.wrapping_mul(31).wrapping_add(b));
+                folded
+            })
+            .collect();
+        let seq: Vec<u64> = outer
+            .iter()
+            .map(|x| {
+                inner_of(*x)
+                    .iter()
+                    .map(g)
+                    .fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b))
+            })
+            .collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    /// `par_chunks` agrees with sequential `chunks` for any chunk size.
+    #[test]
+    fn par_chunks_match_sequential(
+        items in proptest::collection::vec(any::<u64>(), 0..800),
+        chunk in 1usize..130,
+    ) {
+        setup();
+        let f = |c: &[u64]| c.iter().fold(7u64, |a, b| a.wrapping_mul(13).wrapping_add(*b));
+        let par: Vec<u64> = items.par_chunks(chunk).map(f).collect();
+        let seq: Vec<u64> = items.chunks(chunk).map(f).collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    /// `join` computes both closures regardless of which side is
+    /// stolen, and nests arbitrarily.
+    #[test]
+    fn join_matches_direct_calls(
+        a in any::<u64>(),
+        b in any::<u64>(),
+        depth in 0usize..6,
+    ) {
+        setup();
+        fn tree(x: u64, depth: usize) -> u64 {
+            if depth == 0 {
+                return spin(x % 50);
+            }
+            let (l, r) = rayon::join(
+                || tree(x.wrapping_mul(3), depth - 1),
+                || tree(x.wrapping_add(7), depth - 1),
+            );
+            l.wrapping_mul(31).wrapping_add(r)
+        }
+        fn tree_seq(x: u64, depth: usize) -> u64 {
+            if depth == 0 {
+                return spin(x % 50);
+            }
+            let l = tree_seq(x.wrapping_mul(3), depth - 1);
+            let r = tree_seq(x.wrapping_add(7), depth - 1);
+            l.wrapping_mul(31).wrapping_add(r)
+        }
+        let (ra, rb) = rayon::join(|| tree(a, depth), || tree(b, depth));
+        prop_assert_eq!(ra, tree_seq(a, depth));
+        prop_assert_eq!(rb, tree_seq(b, depth));
+    }
+}
