@@ -5,7 +5,7 @@
 //! cargo run --release -p madness-bench --bin tablegen -- table1 fig5
 //! ```
 
-use madness_bench::{ablation, figures, perf, tables, trace_report};
+use madness_bench::{ablation, dispatch_report, figures, perf, tables, trace_report};
 
 fn hr(title: &str) {
     println!("\n================================================================");
@@ -224,6 +224,16 @@ fn bench(write_json: bool) {
     }
 }
 
+fn dispatch() {
+    hr(
+        "Dispatch — adaptive dispatcher trajectory, Table I workload\n\
+         per-flush k / m_hat / n_hat from the EWMA feedback loop\n\
+         (probe -> steady), against the model-informed static k*",
+    );
+    let r = dispatch_report::dispatch_table1();
+    print!("{}", dispatch_report::render(&r));
+}
+
 const EXPERIMENTS: &[&str] = &[
     "table1",
     "table2",
@@ -237,6 +247,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablations",
     "trace",
     "bench",
+    "dispatch",
 ];
 
 fn main() {
@@ -301,5 +312,8 @@ fn main() {
     }
     if want("bench") {
         bench(json);
+    }
+    if want("dispatch") {
+        dispatch();
     }
 }

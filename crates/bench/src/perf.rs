@@ -34,6 +34,13 @@ pub struct BenchReport {
     pub points: Vec<BenchPoint>,
     /// Executor counter deltas for the whole run, as trace metrics.
     pub recorder: MemRecorder,
+    /// Whether the work-stealing executor's worker pool served the run.
+    /// `false` means every parallel region ran inline (single-threaded) —
+    /// legitimate on a 1-CPU host, a methodology bug anywhere else.
+    pub executor_engaged: bool,
+    /// CPUs the host advertises (`available_parallelism`), recorded so a
+    /// trajectory point is interpretable without knowing the machine.
+    pub host_cpus: usize,
 }
 
 fn config(resource: ApplyResource, max_batch: usize) -> ApplyConfig {
@@ -99,6 +106,13 @@ pub fn record_executor_stats(
 /// the `apply_pipeline` criterion benches) with `iters` timed iterations
 /// each.
 pub fn bench_apply(iters: u32) -> BenchReport {
+    // Force the executor's lazy pool into existence BEFORE any timing.
+    // The old flow let the first timed `par_iter` create it, so the
+    // committed trajectory point recorded `workers: 0` with every run
+    // inline — single-threaded numbers presented as pipeline timings.
+    let pool_workers = rayon::initialize();
+    let executor_engaged = pool_workers > 0;
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let before = rayon::executor_stats();
     let app = CoulombApp::small(4, 1e-3);
     let mut points = Vec::new();
@@ -125,6 +139,14 @@ pub fn bench_apply(iters: u32) -> BenchReport {
         }),
         iters,
     });
+    let adaptive = config(ApplyResource::Adaptive, 16);
+    points.push(BenchPoint {
+        name: "batched_adaptive",
+        secs: time_best(iters, || {
+            black_box(apply_batched(&app.op, &app.tree, &adaptive));
+        }),
+        iters,
+    });
 
     let app_rr = CoulombApp::small(6, 1e-4);
     let full = config(ApplyResource::Cpu, 32);
@@ -148,7 +170,12 @@ pub fn bench_apply(iters: u32) -> BenchReport {
     let after = rayon::executor_stats();
     let mut recorder = MemRecorder::new();
     record_executor_stats(&mut recorder, &before, &after);
-    BenchReport { points, recorder }
+    BenchReport {
+        points,
+        recorder,
+        executor_engaged,
+        host_cpus,
+    }
 }
 
 /// Renders the report as the table `tablegen bench` prints.
@@ -180,6 +207,21 @@ pub fn render(report: &BenchReport) -> String {
         m.counter("executor_grain_min"),
         m.counter("executor_grain_max"),
     );
+    let _ = writeln!(
+        out,
+        "          engaged: {} ({} host CPUs)",
+        report.executor_engaged, report.host_cpus
+    );
+    if !report.executor_engaged && report.host_cpus > 1 {
+        let _ = writeln!(
+            out,
+            "\nWARNING: the executor ran every parallel region INLINE on a \
+             {}-CPU host.\nThese are single-threaded timings, not pipeline \
+             timings — do not commit them.\nSet RAYON_NUM_THREADS (>= 2) or \
+             call rayon::set_worker_threads before benching.",
+            report.host_cpus
+        );
+    }
     out
 }
 
@@ -187,8 +229,13 @@ pub fn render(report: &BenchReport) -> String {
 pub fn to_json(report: &BenchReport) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"madness-bench-apply-v1\",\n");
+    out.push_str("{\n  \"schema\": \"madness-bench-apply-v2\",\n");
     out.push_str("  \"workload\": \"table1-full-fidelity\",\n");
+    let _ = writeln!(
+        out,
+        "  \"executor_engaged\": {},\n  \"host_cpus\": {},",
+        report.executor_engaged, report.host_cpus
+    );
     out.push_str("  \"results\": [\n");
     for (i, p) in report.points.iter().enumerate() {
         let comma = if i + 1 < report.points.len() { "," } else { "" };
@@ -244,6 +291,7 @@ mod tests {
                 "reference_walk",
                 "batched_cpu",
                 "batched_hybrid",
+                "batched_adaptive",
                 "full_rank",
                 "rank_reduced"
             ]
@@ -253,9 +301,21 @@ mod tests {
         for n in names {
             assert!(json.contains(n), "missing {n} in json");
         }
-        assert!(json.contains("\"schema\": \"madness-bench-apply-v1\""));
+        assert!(json.contains("\"schema\": \"madness-bench-apply-v2\""));
+        assert!(json.contains("\"executor_engaged\": "));
+        assert!(json.contains("\"host_cpus\": "));
         let rendered = render(&report);
         assert!(rendered.contains("executor:"));
+        assert!(rendered.contains("engaged: "));
+        // bench_apply forces pool creation before timing, so the report
+        // must never exhibit the workers-0 methodology bug (on a 1-CPU
+        // host the executor legitimately declines a pool and the flag
+        // documents it).
+        assert!(report.host_cpus >= 1);
+        let m = report.recorder.metrics();
+        if report.executor_engaged {
+            assert!(m.counter("executor_workers") > 0);
+        }
     }
 
     /// The recorder helper only emits non-zero deltas, under stable

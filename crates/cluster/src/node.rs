@@ -27,7 +27,9 @@ use crate::workload::WorkloadSpec;
 use madness_gpusim::{
     DeviceSpec, ExecMode, GpuDevice, KernelKind, PinnedBufferPool, SimTime, TransformTask,
 };
-use madness_runtime::{BatcherConfig, CpuModel, SplitPlan};
+use madness_runtime::{
+    AdaptiveConfig, AdaptiveDispatcher, BatcherConfig, CpuModel, SplitPlan, TaskKind,
+};
 use madness_trace::{NullRecorder, Recorder, Stage};
 
 /// Which execution resources the node uses.
@@ -54,6 +56,22 @@ pub enum ResourceMode {
         /// CPU data threads (the rest, minus the dispatcher).
         data_threads: usize,
         /// CUDA streams (Table I: 5).
+        streams: usize,
+        /// Kernel implementation.
+        kernel: KernelKind,
+    },
+    /// Hybrid with the split **learned online** instead of taken from the
+    /// a-priori models: a per-kind EWMA cost model is fed by the
+    /// simulated CPU and GPU batch times, bootstrapped by a 50/50 probe
+    /// flush, with hysteresis and stream-queue backpressure
+    /// ([`AdaptiveDispatcher`]). Converges to the static `k*` without
+    /// ever being told `m` or `n`.
+    AdaptiveHybrid {
+        /// CPU compute threads.
+        compute_threads: usize,
+        /// CPU data threads.
+        data_threads: usize,
+        /// CUDA streams.
         streams: usize,
         /// Kernel implementation.
         kernel: KernelKind,
@@ -178,7 +196,16 @@ impl NodeSim {
                 streams,
                 kernel,
                 data_threads,
-            } => self.simulate_device(spec, n_tasks, None, data_threads, streams, kernel, rec),
+            } => self.simulate_device(
+                spec,
+                n_tasks,
+                None,
+                data_threads,
+                streams,
+                kernel,
+                false,
+                rec,
+            ),
             ResourceMode::Hybrid {
                 compute_threads,
                 data_threads,
@@ -191,6 +218,22 @@ impl NodeSim {
                 data_threads,
                 streams,
                 kernel,
+                false,
+                rec,
+            ),
+            ResourceMode::AdaptiveHybrid {
+                compute_threads,
+                data_threads,
+                streams,
+                kernel,
+            } => self.simulate_device(
+                spec,
+                n_tasks,
+                Some(compute_threads),
+                data_threads,
+                streams,
+                kernel,
+                true,
                 rec,
             ),
         }
@@ -241,8 +284,9 @@ impl NodeSim {
         }
     }
 
-    /// GPU-only and hybrid share the pipelined path; `compute_threads`
-    /// is `None` for GPU-only.
+    /// GPU-only and the two hybrids share the pipelined path;
+    /// `compute_threads` is `None` for GPU-only, and `adaptive` selects
+    /// the learned dispatcher over the a-priori model split.
     #[allow(clippy::too_many_arguments)]
     fn simulate_device<R: Recorder>(
         &self,
@@ -252,6 +296,7 @@ impl NodeSim {
         data_threads: usize,
         streams: usize,
         kernel: KernelKind,
+        adaptive: bool,
         rec: &mut R,
     ) -> NodeReport {
         let p = &self.params;
@@ -295,6 +340,13 @@ impl NodeSim {
         let mut post_release = Vec::new();
         let pre_each_eff = pre_each * lane_slowdown;
         let post_each_eff = post_each * lane_slowdown;
+        // Learned-dispatcher state (AdaptiveHybrid only). The simulated
+        // workload is homogeneous, so all batches share one kind.
+        let mut learned = AdaptiveDispatcher::new(AdaptiveConfig::default());
+        const SIM_KIND: TaskKind = TaskKind {
+            op: 0x51D,
+            data_hash: 0,
+        };
 
         while remaining > 0 {
             let b = remaining.min(batch_cap);
@@ -329,9 +381,24 @@ impl NodeSim {
                 );
             }
 
-            // Split decision at batch-flush time.
+            // Split decision at batch-flush time: the a-priori model
+            // split (Hybrid), or the learned dispatcher consulted with
+            // the device's in-flight queue depth at flush time
+            // (AdaptiveHybrid — it is never told `m` or `n`).
             let (cpu_n, gpu_n, k) = match compute_threads {
                 None => (0u64, b, 0.0),
+                Some(_) if adaptive => {
+                    let depth = device.queue_depth(release);
+                    let decision = learned.plan(SIM_KIND, b as usize, depth);
+                    if R::ENABLED {
+                        rec.observe_dispatch(decision.sample());
+                    }
+                    (
+                        decision.plan.cpu_tasks as u64,
+                        decision.plan.gpu_tasks as u64,
+                        decision.k,
+                    )
+                }
                 Some(ct) => {
                     let m = p
                         .cpu
@@ -359,6 +426,8 @@ impl NodeSim {
             if R::ENABLED && compute_threads.is_some() {
                 rec.observe_split(k);
             }
+            let mut flush_gpu_ns = 0u64;
+            let mut flush_cpu_ns = 0u64;
 
             // GPU part: the dispatcher rearranges the GPU share into the
             // pinned transfer buffers (it must wait for the page-locks),
@@ -400,6 +469,10 @@ impl NodeSim {
                         out.breakdown.bytes_s + out.breakdown.bytes_h,
                     );
                 }
+                if adaptive {
+                    flush_gpu_ns = out.time.as_nanos();
+                    device.note_inflight(gstart, gend);
+                }
                 post_release.push((gend, gpu_n));
             }
             // CPU part.
@@ -419,7 +492,21 @@ impl NodeSim {
                     rec.span(Stage::CpuCompute, cstart.as_nanos(), cend.as_nanos(), 0);
                     rec.add("tasks_cpu", cpu_n);
                 }
+                if adaptive {
+                    flush_cpu_ns = dur.as_nanos();
+                }
                 post_release.push((cend, cpu_n));
+            }
+            if adaptive {
+                // Close the loop: this flush's simulated batch times are
+                // the dispatcher's measurements for the next one.
+                learned.record(
+                    SIM_KIND,
+                    cpu_n as usize,
+                    flush_cpu_ns,
+                    gpu_n as usize,
+                    flush_gpu_ns,
+                );
             }
         }
 

@@ -11,13 +11,18 @@
 //! the simulated GPU by the dispatcher's `k* = n/(m+n)` rule,
 //! *postprocess* accumulates results. Both produce identical trees.
 
-use madness_gpusim::{ExecMode, GpuDevice, HBlock, KernelKind, TransformTask, TransformTerm};
+use madness_gpusim::{
+    ExecMode, GpuDevice, HBlock, KernelKind, SimTime, TransformTask, TransformTerm,
+};
 use madness_mra::convolution::SeparatedConvolution;
 use madness_mra::key::Key;
 use madness_mra::ops::sum_down;
 use madness_mra::tree::{FunctionTree, TreeForm};
-use madness_runtime::{Batcher, BatcherConfig, CpuModel, SplitPlan, TaskKind};
+use madness_runtime::{
+    AdaptiveConfig, AdaptiveDispatcher, Batcher, BatcherConfig, CpuModel, SplitPlan, TaskKind,
+};
 use madness_tensor::{Tensor, TransformScratch, Workspace, MAX_DIMS};
+use madness_trace::{NullRecorder, Recorder};
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -28,8 +33,16 @@ pub enum ApplyResource {
     Cpu,
     /// Simulated GPU only.
     Gpu,
-    /// Dispatcher-split CPU + GPU (the paper's hybrid).
+    /// Dispatcher-split CPU + GPU at the static a-priori optimum: `k*`
+    /// from the calibrated CPU model and the device's kernel cost model
+    /// (the paper's hybrid, told `m` and `n` in advance).
     Hybrid,
+    /// Dispatcher-split CPU + GPU with the split **learned online**: a
+    /// per-kind EWMA cost model fed by measured CPU wall time and
+    /// simulated GPU batch time, bootstrapped by a 50/50 probe flush,
+    /// with hysteresis and stream-queue backpressure
+    /// ([`AdaptiveDispatcher`]). Never consults the a-priori models.
+    Adaptive,
 }
 
 /// Configuration of a batched Apply run.
@@ -180,6 +193,23 @@ pub fn apply_batched(
     tree: &FunctionTree,
     config: &ApplyConfig,
 ) -> (FunctionTree, ApplyStats) {
+    apply_batched_recorded(op, tree, config, &mut NullRecorder)
+}
+
+/// [`apply_batched`] with tracing: in [`ApplyResource::Adaptive`] mode
+/// every flush journals its split decision — `rec.observe_split(k)` plus
+/// a full [`madness_trace::DispatchSample`] (`k`, `m̂`, `n̂`, probe flag)
+/// via `rec.observe_dispatch` — so the split trajectory can be exported
+/// and replayed. With [`NullRecorder`] this is exactly `apply_batched`.
+///
+/// # Panics
+/// Same contract as [`apply_cpu_reference`].
+pub fn apply_batched_recorded<R: Recorder>(
+    op: &SeparatedConvolution,
+    tree: &FunctionTree,
+    config: &ApplyConfig,
+    rec: &mut R,
+) -> (FunctionTree, ApplyStats) {
     assert_eq!(tree.form(), TreeForm::Reconstructed, "Apply needs leaves");
     assert_eq!(tree.d(), op.d(), "operator/tree dimensionality mismatch");
     assert_eq!(tree.k(), op.k(), "operator/tree order mismatch");
@@ -270,10 +300,22 @@ pub fn apply_batched(
     // ---- batch per kind, dispatch, compute ------------------------------
     let mut batcher: Batcher<PreparedTask> = Batcher::new(config.batch);
     let mut results: Vec<(Key, Tensor)> = Vec::with_capacity(prepared.len());
-    let mut run_batch = |batch: Vec<PreparedTask>,
+    // Adaptive mode's feedback state. `sim_now` is the simulated clock the
+    // in-flight stream-queue windows live on: it advances by each flush's
+    // measured CPU time (the CPU keeps streaming), so a GPU batch whose
+    // simulated time outlives the flush stays queued and builds the
+    // backpressure the dispatcher shrinks the GPU share on.
+    let mut dispatcher = AdaptiveDispatcher::new(AdaptiveConfig::default());
+    let mut sim_now = SimTime::ZERO;
+    let mut run_batch = |kind: TaskKind,
+                         batch: Vec<PreparedTask>,
                          device: &mut GpuDevice,
-                         stats: &mut ApplyStats| {
+                         stats: &mut ApplyStats,
+                         dispatcher: &mut AdaptiveDispatcher,
+                         sim_now: &mut SimTime,
+                         rec: &mut R| {
         stats.batches += 1;
+        let adaptive = matches!(config.resource, ApplyResource::Adaptive);
         let plan = match config.resource {
             ApplyResource::Cpu => SplitPlan::all_cpu(batch.len()),
             ApplyResource::Gpu => SplitPlan::all_gpu(batch.len()),
@@ -293,6 +335,13 @@ pub fn apply_batched(
                 let n = gcost.duration.as_secs_f64() * batch.len() as f64 / conc;
                 SplitPlan::for_times(batch.len(), m, n)
             }
+            ApplyResource::Adaptive => {
+                let depth = device.queue_depth(*sim_now);
+                let decision = dispatcher.plan(kind, batch.len(), depth);
+                rec.observe_split(decision.k);
+                rec.observe_dispatch(decision.sample());
+                decision.plan
+            }
         };
         stats.cpu_tasks += plan.cpu_tasks as u64;
         stats.gpu_tasks += plan.gpu_tasks as u64;
@@ -305,15 +354,28 @@ pub fn apply_batched(
         // the slice: no per-task deep clone.
         let (neighbors, tasks): (Vec<Key>, Vec<TransformTask>) =
             gpu_part.into_iter().map(|p| (p.neighbor, p.task)).unzip();
-        let (cpu_results, gpu_out) = rayon::join(
+        let ((cpu_results, cpu_ns), gpu_out) = rayon::join(
             || {
-                cpu_part
+                let t0 = std::time::Instant::now();
+                let out = cpu_part
                     .par_iter()
                     .map(|p| Workspace::with(|ws| (p.neighbor, compute_cpu(&p.task, ws.scratch()))))
-                    .collect::<Vec<(Key, Tensor)>>()
+                    .collect::<Vec<(Key, Tensor)>>();
+                (out, t0.elapsed().as_nanos() as u64)
             },
             || (!tasks.is_empty()).then(|| device.execute_batch(&tasks, kernel, ExecMode::Full)),
         );
+        if adaptive {
+            // Feed measured CPU wall time + simulated GPU batch time back
+            // into the cost model, and note the batch's stream-queue
+            // occupancy window.
+            let gpu_ns = gpu_out.as_ref().map_or(0, |out| out.time.as_nanos());
+            dispatcher.record(kind, plan.cpu_tasks, cpu_ns, plan.gpu_tasks, gpu_ns);
+            if plan.gpu_tasks > 0 {
+                device.note_inflight(*sim_now, *sim_now + SimTime::from_nanos(gpu_ns));
+            }
+            *sim_now += SimTime::from_nanos(cpu_ns);
+        }
         // CPU results stay ahead of GPU results, preserving the exact
         // pre-overlap accumulation order (bit-identical trees).
         results.extend(cpu_results);
@@ -329,12 +391,28 @@ pub fn apply_batched(
             op: APPLY_OP_ID,
             data_hash: p.neighbor.level() as u64,
         };
-        if let Some((_, full)) = batcher.push(kind, p) {
-            run_batch(full, &mut device, &mut stats);
+        if let Some((flushed_kind, full)) = batcher.push(kind, p) {
+            run_batch(
+                flushed_kind,
+                full,
+                &mut device,
+                &mut stats,
+                &mut dispatcher,
+                &mut sim_now,
+                rec,
+            );
         }
     }
-    for (_, rest) in batcher.flush_all() {
-        run_batch(rest, &mut device, &mut stats);
+    for (flushed_kind, rest) in batcher.flush_all() {
+        run_batch(
+            flushed_kind,
+            rest,
+            &mut device,
+            &mut stats,
+            &mut dispatcher,
+            &mut sim_now,
+            rec,
+        );
     }
 
     // ---- postprocess (Algorithm 6) --------------------------------------

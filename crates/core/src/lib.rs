@@ -27,7 +27,10 @@ pub mod coulomb;
 pub mod scenario;
 pub mod tdse;
 
-pub use apply::{apply_batched, apply_cpu_reference, ApplyConfig, ApplyResource, ApplyStats};
+pub use apply::{
+    apply_batched, apply_batched_recorded, apply_cpu_reference, ApplyConfig, ApplyResource,
+    ApplyStats,
+};
 pub use coulomb::CoulombApp;
 pub use scenario::Scenario;
 pub use tdse::TdseApp;

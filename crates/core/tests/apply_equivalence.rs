@@ -6,12 +6,15 @@
 //! Algorithms 3–6 (batched pipeline) on every resource produce the same
 //! coefficient tree.
 
-use madness_core::apply::{apply_batched, apply_cpu_reference, ApplyConfig, ApplyResource};
+use madness_core::apply::{
+    apply_batched, apply_batched_recorded, apply_cpu_reference, ApplyConfig, ApplyResource,
+};
 use madness_core::coulomb::CoulombApp;
 use madness_core::tdse::TdseApp;
 use madness_gpusim::KernelKind;
 use madness_mra::tree::FunctionTree;
 use madness_runtime::BatcherConfig;
+use madness_trace::MemRecorder;
 
 fn tree_distance(a: &FunctionTree, b: &FunctionTree) -> f64 {
     let mut worst: f64 = 0.0;
@@ -84,6 +87,37 @@ fn hybrid_matches_reference_and_uses_both_sides() {
     assert!(stats.gpu_tasks > 0, "dispatcher starved the GPU");
     let d = tree_distance(&reference, &batched);
     assert!(d < 1e-10, "hybrid diverged by {d:e}");
+}
+
+#[test]
+fn adaptive_matches_reference_and_journals_its_trajectory() {
+    let app = CoulombApp::small(5, 1e-4);
+    let reference = apply_cpu_reference(&app.op, &app.tree);
+    let mut rec = MemRecorder::new();
+    let (batched, stats) = apply_batched_recorded(
+        &app.op,
+        &app.tree,
+        &config(ApplyResource::Adaptive, KernelKind::CustomMtxmq),
+        &mut rec,
+    );
+    // Correctness is split-independent: whatever trajectory the learned
+    // dispatcher takes, the tree must match the reference walk.
+    let d = tree_distance(&reference, &batched);
+    assert!(d < 1e-10, "adaptive diverged by {d:e}");
+    assert_eq!(stats.cpu_tasks + stats.gpu_tasks, stats.tasks);
+    assert!(stats.cpu_tasks > 0, "probe phase guarantees CPU samples");
+    assert!(stats.gpu_tasks > 0, "probe phase guarantees GPU samples");
+
+    // One dispatch sample per flushed batch, starting in probe state,
+    // every k in range.
+    let history = rec.metrics().dispatch_history();
+    assert_eq!(history.len() as u64, stats.batches);
+    assert!(history.first().expect("at least one flush").probe);
+    assert!(history.iter().all(|s| (0.0..=1.0).contains(&s.k)));
+    // Once steady, the model must hold real (floored-positive) estimates.
+    if let Some(steady) = history.iter().find(|s| !s.probe) {
+        assert!(steady.m_hat_ns > 0.0 && steady.n_hat_ns > 0.0);
+    }
 }
 
 #[test]

@@ -71,6 +71,10 @@ pub struct GpuDevice {
     cache: DeviceHCache,
     streams: usize,
     pinned: bool,
+    /// Batches noted in flight on the stream queue: `(submit, complete)`
+    /// windows, pruned on query. Feeds the adaptive dispatcher's
+    /// backpressure signal.
+    inflight: std::collections::VecDeque<(SimTime, SimTime)>,
 }
 
 impl GpuDevice {
@@ -89,6 +93,7 @@ impl GpuDevice {
             streams,
             pinned: true,
             spec,
+            inflight: std::collections::VecDeque::new(),
         }
     }
 
@@ -124,6 +129,27 @@ impl GpuDevice {
     /// Clears device state between runs.
     pub fn reset(&mut self) {
         self.cache.clear();
+        self.inflight.clear();
+    }
+
+    /// Notes a batch occupying the stream queue over the simulated
+    /// window `[submit, complete)`. The pipeline drivers call this when
+    /// they enqueue a batch; [`GpuDevice::queue_depth`] then answers how
+    /// many earlier batches are still in flight — the backpressure
+    /// signal the adaptive dispatcher shrinks the GPU share on.
+    pub fn note_inflight(&mut self, submit: SimTime, complete: SimTime) {
+        self.inflight.push_back((submit, complete));
+    }
+
+    /// Batches noted in flight that have not completed by `now`
+    /// (submitted at or before `now`, completing after it). Entries
+    /// finished by `now` are pruned.
+    pub fn queue_depth(&mut self, now: SimTime) -> usize {
+        self.inflight.retain(|&(_, complete)| complete > now);
+        self.inflight
+            .iter()
+            .filter(|&&(submit, _)| submit <= now)
+            .count()
     }
 
     /// Maximum kernels that can run concurrently given per-kernel SM
@@ -405,6 +431,22 @@ mod tests {
         let batched = engine.transfer_time(bytes, true);
         let per_task = engine.transfer_time_ops(bytes, 60, true);
         assert!(per_task.as_secs_f64() > 3.0 * batched.as_secs_f64());
+    }
+
+    #[test]
+    fn queue_depth_counts_only_open_windows() {
+        let mut d = device(2);
+        let us = SimTime::from_micros;
+        d.note_inflight(us(0), us(100));
+        d.note_inflight(us(50), us(150));
+        d.note_inflight(us(200), us(300)); // not yet submitted at t=60
+        assert_eq!(d.queue_depth(us(60)), 2);
+        assert_eq!(d.queue_depth(us(120)), 1); // first batch pruned
+        assert_eq!(d.queue_depth(us(250)), 1);
+        assert_eq!(d.queue_depth(us(400)), 0);
+        d.note_inflight(us(400), us(500));
+        d.reset();
+        assert_eq!(d.queue_depth(us(450)), 0, "reset must drain the queue");
     }
 
     #[test]

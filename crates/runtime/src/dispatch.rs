@@ -24,6 +24,29 @@ pub fn optimal_split(m: f64, n: f64) -> f64 {
     n / (m + n)
 }
 
+/// [`optimal_split`] for **measured** times: both inputs are clamped to
+/// a minimum floor before the closed form is applied.
+///
+/// The closed form treats a zero time as "that side is infinitely fast"
+/// and routes everything to it — correct for a priori model times,
+/// wrong for online measurements, where a zero means the probe was
+/// empty or below the clock's resolution. A floored measurement reads
+/// as "very fast" instead, so the split stays strictly inside `(0, 1)`
+/// and a degenerate probe can never starve a backend forever.
+///
+/// # Panics
+/// Panics on a non-positive or non-finite floor, or on negative /
+/// non-finite times (same contract as [`optimal_split`]).
+pub fn measured_split(m: f64, n: f64, floor: f64) -> f64 {
+    assert!(
+        floor > 0.0 && floor.is_finite(),
+        "measurement floor must be positive and finite"
+    );
+    assert!(m >= 0.0 && n >= 0.0, "times must be non-negative");
+    assert!(m.is_finite() && n.is_finite(), "times must be finite");
+    optimal_split(m.max(floor), n.max(floor))
+}
+
 /// The paper's ideal hybrid runtime `m·n/(m+n)` (assumes a 100 %
 /// compute-intensive workload — the tables' "Optimal CPU-GPU Overlap"
 /// column, which real runs sometimes beat and sometimes miss).
@@ -153,5 +176,25 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_time_rejected() {
         let _ = optimal_split(-1.0, 1.0);
+    }
+
+    #[test]
+    fn measured_split_floors_degenerate_inputs() {
+        // A 0 ns measurement must read "very fast", never "infinitely
+        // fast": the split stays strictly inside (0, 1).
+        let k = measured_split(0.0, 5_000.0, 50.0);
+        assert!(k > 0.98 && k < 1.0, "{k}");
+        let k = measured_split(5_000.0, 0.0, 50.0);
+        assert!(k > 0.0 && k < 0.02, "{k}");
+        // Both degenerate ⇒ both floored ⇒ even split.
+        assert_eq!(measured_split(0.0, 0.0, 50.0), 0.5);
+        // Healthy measurements pass through unchanged.
+        assert_eq!(measured_split(12.0, 4.0, 1.0), optimal_split(12.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "floor must be positive")]
+    fn zero_floor_rejected() {
+        let _ = measured_split(1.0, 1.0, 0.0);
     }
 }

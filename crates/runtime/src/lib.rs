@@ -28,14 +28,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adaptive;
 pub mod batcher;
 pub mod cpu;
 pub mod dispatch;
 pub mod op;
 pub mod pool;
 
+pub use adaptive::{AdaptiveConfig, AdaptiveDispatcher, DispatchDecision, DispatchPhase};
 pub use batcher::{Batcher, BatcherConfig, TaskKind};
 pub use cpu::CpuModel;
-pub use dispatch::{hybrid_optimal_time, optimal_split, SplitPlan};
+pub use dispatch::{hybrid_optimal_time, measured_split, optimal_split, SplitPlan};
 pub use op::BatchedOp;
 pub use pool::{global_pool, WorkerPool};

@@ -21,12 +21,16 @@ use std::thread::JoinHandle;
 /// work-stealing compute executor in `rayon`. Sized to the executor's
 /// worker count (or `available_parallelism` when the executor runs
 /// inline) so compute and data threads share one thread budget.
+///
+/// Sizing reads the executor's *configured* count, never the live
+/// `executor_stats().workers` — the latter is `0` until the executor's
+/// first parallel run, and this accessor's `OnceLock` would have pinned
+/// a 1-worker data pool for the rest of the process if it was called
+/// first (the bug behind the all-inline `BENCH_apply.json` trajectory
+/// point).
 pub fn global_pool() -> &'static WorkerPool {
     static POOL: OnceLock<WorkerPool> = OnceLock::new();
-    POOL.get_or_init(|| {
-        let workers = rayon::executor_stats().workers.max(1) as usize;
-        WorkerPool::new(workers)
-    })
+    POOL.get_or_init(|| WorkerPool::new(rayon::configured_worker_threads().max(1)))
 }
 
 type Job = Box<dyn FnOnce() + Send + 'static>;

@@ -18,7 +18,7 @@
 //! accepts general JSON objects/arrays/strings/numbers but only the
 //! fields above are interpreted.
 
-use crate::{MemRecorder, Record, Recorder, Stage};
+use crate::{DispatchSample, MemRecorder, Record, Recorder, Stage};
 use std::fmt::Write as _;
 
 /// Why a timeline failed to parse.
@@ -68,6 +68,17 @@ pub(crate) fn export(rec: &MemRecorder) -> String {
                 );
             }
         }
+    }
+    out.push_str("],\"dispatch_history\":[");
+    for (i, s) in rec.metrics().dispatch_history().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"k\":{:?},\"m_hat_ns\":{:?},\"n_hat_ns\":{:?},\"probe\":{}}}",
+            s.k, s.m_hat_ns, s.n_hat_ns, s.probe
+        );
     }
     out.push_str("],\"counters\":{");
     for (i, (name, v)) in rec.metrics().counters().enumerate() {
@@ -135,6 +146,29 @@ pub(crate) fn import(text: &str) -> Result<MemRecorder, JsonError> {
     if let Some(Value::Array(ks)) = get("k_history") {
         for k in ks {
             rec.observe_split(k.as_f64().ok_or_else(|| bad("k_history value"))?);
+        }
+    }
+    if let Some(Value::Array(samples)) = get("dispatch_history") {
+        for s in samples {
+            let Value::Object(fields) = s else {
+                return Err(bad("dispatch_history entry must be an object"));
+            };
+            let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+            let num = |name: &str| -> Result<f64, JsonError> {
+                get(name)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| bad(&format!("dispatch sample missing number '{name}'")))
+            };
+            let probe = match get("probe") {
+                Some(Value::Bool(b)) => *b,
+                _ => return Err(bad("dispatch sample missing bool 'probe'")),
+            };
+            rec.observe_dispatch(DispatchSample {
+                k: num("k")?,
+                m_hat_ns: num("m_hat_ns")?,
+                n_hat_ns: num("n_hat_ns")?,
+                probe,
+            });
         }
     }
     Ok(rec)
@@ -381,6 +415,18 @@ mod tests {
         rec.gauge_hwm("pinned_pool_hwm_bytes", 1 << 20);
         rec.observe_split(1.0 / 3.0);
         rec.observe_split(0.5);
+        rec.observe_dispatch(DispatchSample {
+            k: 0.5,
+            m_hat_ns: 0.0,
+            n_hat_ns: 0.0,
+            probe: true,
+        });
+        rec.observe_dispatch(DispatchSample {
+            k: 0.242,
+            m_hat_ns: 2_500.5,
+            n_hat_ns: 800.0,
+            probe: false,
+        });
         rec
     }
 

@@ -183,6 +183,22 @@ pub enum Record {
     Event(Event),
 }
 
+/// One flush decision of the adaptive feedback dispatcher: the chosen CPU
+/// share `k` plus the cost-model state (EWMA per-task times) it was
+/// derived from, and whether the flush was a bootstrap probe.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DispatchSample {
+    /// CPU share of the batch, in `[0, 1]`.
+    pub k: f64,
+    /// EWMA estimate of CPU nanoseconds per task (`0` while unprobed).
+    pub m_hat_ns: f64,
+    /// EWMA estimate of GPU nanoseconds per task (`0` while unprobed).
+    pub n_hat_ns: f64,
+    /// True while the dispatcher is still bootstrapping its cost model
+    /// (the 50/50 probe flushes), false in the steady feedback state.
+    pub probe: bool,
+}
+
 // ---------------------------------------------------------------------
 // Metrics registry
 // ---------------------------------------------------------------------
@@ -193,6 +209,7 @@ pub struct Metrics {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, u64>,
     k_history: Vec<f64>,
+    dispatch_history: Vec<DispatchSample>,
 }
 
 impl Metrics {
@@ -210,6 +227,14 @@ impl Metrics {
     /// Appends one dispatcher split ratio `k*` to the history.
     pub fn observe_split(&mut self, k: f64) {
         self.k_history.push(k);
+    }
+
+    /// Appends one adaptive-dispatcher flush decision to the trajectory.
+    /// Deliberately independent of [`Metrics::observe_split`] — callers
+    /// that want `k` in both histories emit both (the JSON import replays
+    /// each history separately).
+    pub fn observe_dispatch(&mut self, sample: DispatchSample) {
+        self.dispatch_history.push(sample);
     }
 
     /// Current value of a counter (0 if never touched).
@@ -235,6 +260,11 @@ impl Metrics {
     /// The dispatcher's per-batch `k*` history, in batch order.
     pub fn k_history(&self) -> &[f64] {
         &self.k_history
+    }
+
+    /// The adaptive dispatcher's per-flush trajectory, in flush order.
+    pub fn dispatch_history(&self) -> &[DispatchSample] {
+        &self.dispatch_history
     }
 
     /// Mean of the split history (0 when empty).
@@ -287,6 +317,9 @@ pub trait Recorder {
 
     /// Observes one dispatcher split ratio.
     fn observe_split(&mut self, k: f64);
+
+    /// Observes one adaptive-dispatcher flush decision.
+    fn observe_dispatch(&mut self, sample: DispatchSample);
 }
 
 /// The disabled recorder: every method is a no-op and `ENABLED = false`.
@@ -306,6 +339,8 @@ impl Recorder for NullRecorder {
     fn gauge_hwm(&mut self, _: &str, _: u64) {}
     #[inline(always)]
     fn observe_split(&mut self, _: f64) {}
+    #[inline(always)]
+    fn observe_dispatch(&mut self, _: DispatchSample) {}
 }
 
 /// In-memory recorder: journal in emission order + metrics registry.
@@ -395,6 +430,10 @@ impl Recorder for MemRecorder {
     fn observe_split(&mut self, k: f64) {
         self.metrics.observe_split(k);
     }
+
+    fn observe_dispatch(&mut self, sample: DispatchSample) {
+        self.metrics.observe_dispatch(sample);
+    }
 }
 
 #[cfg(test)]
@@ -440,6 +479,29 @@ mod tests {
         assert_eq!(rec.metrics().k_history(), &[0.25, 0.5, 0.75]);
         assert!((rec.metrics().mean_split() - 0.5).abs() < 1e-15);
         assert_eq!(Metrics::default().mean_split(), 0.0);
+    }
+
+    #[test]
+    fn dispatch_history_preserves_order_and_state() {
+        let mut rec = MemRecorder::new();
+        rec.observe_dispatch(DispatchSample {
+            k: 0.5,
+            m_hat_ns: 0.0,
+            n_hat_ns: 0.0,
+            probe: true,
+        });
+        rec.observe_dispatch(DispatchSample {
+            k: 0.25,
+            m_hat_ns: 3_000.0,
+            n_hat_ns: 1_000.0,
+            probe: false,
+        });
+        let h = rec.metrics().dispatch_history();
+        assert_eq!(h.len(), 2);
+        assert!(h[0].probe && !h[1].probe);
+        assert_eq!(h[1].m_hat_ns, 3_000.0);
+        // observe_dispatch must not leak into the plain split history.
+        assert!(rec.metrics().k_history().is_empty());
     }
 
     #[test]

@@ -282,6 +282,35 @@ fn configured_workers() -> usize {
         .unwrap_or(1)
 }
 
+/// Worker count the executor is configured to use: the live pool's size
+/// once it exists, otherwise what the pool *will* be sized to when the
+/// first parallel call creates it (override, then `RAYON_NUM_THREADS`,
+/// then `available_parallelism`). Never creates the pool.
+///
+/// Unlike [`executor_stats`]`().workers` — which reports `0` until the
+/// first parallel run — this is safe to size companion thread pools from
+/// at any point in the process lifetime. Values `< 2` mean the executor
+/// will run inline.
+pub fn configured_worker_threads() -> usize {
+    match POOL.get() {
+        Some(Some(pool)) => pool.workers,
+        // Pool creation already decided against spawning (inline mode).
+        Some(None) => 1,
+        None => configured_workers(),
+    }
+}
+
+/// Eagerly creates the global worker pool, which is otherwise created
+/// lazily by the first parallel call. Returns the live worker count
+/// (`0` = inline mode: single-core host or `RAYON_NUM_THREADS < 2`).
+///
+/// Call this before wall-clock benchmarking so thread spawning is not
+/// charged to the first timed region — and so `executor_stats().workers`
+/// reflects the real pool instead of the pre-first-run `0`.
+pub fn initialize() -> usize {
+    pool_get().map_or(0, |p| p.workers)
+}
+
 fn pool_get() -> Option<&'static Pool> {
     *POOL.get_or_init(|| {
         let n = configured_workers();
