@@ -5,7 +5,9 @@
 //! cargo run --release -p madness-bench --bin tablegen -- table1 fig5
 //! ```
 
-use madness_bench::{ablation, dispatch_report, figures, perf, tables, trace_report};
+use madness_bench::{
+    ablation, dispatch_report, faults_report, figures, perf, tables, trace_report,
+};
 
 fn hr(title: &str) {
     println!("\n================================================================");
@@ -234,6 +236,17 @@ fn dispatch() {
     print!("{}", dispatch_report::render(&r));
 }
 
+fn faults() {
+    hr(
+        "Faults — graceful degradation under injected faults, Table I workload\n\
+         seeded schedules: launch failures, transfer timeouts, stream stalls,\n\
+         device loss, straggler; recovery = retry/backoff -> CPU fallback ->\n\
+         quarantine -> probing re-admission; conservation must hold everywhere",
+    );
+    let r = faults_report::faults_table1();
+    print!("{}", faults_report::render(&r));
+}
+
 const EXPERIMENTS: &[&str] = &[
     "table1",
     "table2",
@@ -248,6 +261,7 @@ const EXPERIMENTS: &[&str] = &[
     "trace",
     "bench",
     "dispatch",
+    "faults",
 ];
 
 fn main() {
@@ -315,5 +329,8 @@ fn main() {
     }
     if want("dispatch") {
         dispatch();
+    }
+    if want("faults") {
+        faults();
     }
 }

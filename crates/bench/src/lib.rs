@@ -21,12 +21,14 @@
 //! | Trace      | [`trace_report::trace_table1`] |
 //! | Bench      | [`perf::bench_apply`] |
 //! | Dispatch   | [`dispatch_report::dispatch_table1`] |
+//! | Faults     | [`faults_report::faults_table1`] |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod ablation;
 pub mod dispatch_report;
+pub mod faults_report;
 pub mod figures;
 pub mod perf;
 pub mod tables;

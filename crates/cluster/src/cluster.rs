@@ -1,8 +1,11 @@
 //! Whole-cluster simulation: partition, per-node pipelines, makespan.
 
 use crate::network::NetworkModel;
-use crate::node::{NodeReport, NodeSim, ResourceMode};
+use crate::node::{FaultSummary, NodeReport, NodeSim, ResourceMode};
 use crate::workload::TaskPopulation;
+use madness_faults::{
+    FaultAction, FaultEvent, FaultInjector, FaultKind, FaultPlan, RecoveryPolicy,
+};
 use madness_gpusim::SimTime;
 use madness_trace::{Recorder, Stage};
 use rayon::prelude::*;
@@ -106,6 +109,89 @@ impl ClusterSim {
             })
             .collect();
         self.reduce(nodes, population)
+    }
+
+    /// [`ClusterSim::run_recorded`] under per-node fault schedules.
+    ///
+    /// Node `i` runs with `plans[i]` (nodes past the slice's end run
+    /// fault-free), recovering per `policy`: GPU-side failures retry
+    /// with backoff and fall back to the CPU, an unhealthy device is
+    /// quarantined and later re-admitted via a probe task, a straggler
+    /// plan slows its whole node (the makespan reduction then picks the
+    /// straggler up naturally, since the application still waits for the
+    /// slowest node). Dropped accumulation messages are retransmitted —
+    /// each pays one extra round-trip plus its streaming share on top of
+    /// the node's injection time.
+    ///
+    /// Returns the cluster report plus one [`FaultSummary`] per node;
+    /// `summary.conserved(n_tasks)` holds for every node — no task is
+    /// lost or run twice, whatever the schedule. With all-empty plans
+    /// the report is bit-identical to [`ClusterSim::run_recorded`]'s.
+    pub fn run_with_faults<R: Recorder>(
+        &self,
+        population: &TaskPopulation,
+        mode: ResourceMode,
+        plans: &[FaultPlan],
+        policy: RecoveryPolicy,
+        rec: &mut R,
+    ) -> (ClusterReport, Vec<FaultSummary>) {
+        let spec = population.spec;
+        let result_bytes = 8 * (spec.k as u64).pow(spec.d as u32);
+        let none = FaultPlan::none();
+        let mut summaries = Vec::with_capacity(population.per_node.len());
+        let nodes: Vec<(NodeReport, SimTime)> = population
+            .per_node
+            .iter()
+            .enumerate()
+            .map(|(i, &n_tasks)| {
+                let plan = plans.get(i).unwrap_or(&none);
+                if R::ENABLED && plan.straggler_multiplier() != 1.0 {
+                    rec.fault(FaultEvent {
+                        kind: FaultKind::SlowNode,
+                        action: FaultAction::Injected,
+                        at_ns: 0,
+                        tasks: n_tasks,
+                    });
+                }
+                let (report, mut summary) = self
+                    .node
+                    .simulate_faulty(&spec, n_tasks, mode, plan, policy, rec);
+                let (msgs, bytes, net) = self.network.injection(n_tasks, result_bytes);
+                // Message drops ride a fresh injector (the node's own was
+                // consumed by its pipeline): each dropped message is
+                // detected after a round-trip and streamed again.
+                let mut net_inj = FaultInjector::new(plan);
+                let dropped = net_inj.dropped_messages(msgs, report.total.as_nanos());
+                let net = if dropped > 0 {
+                    summary.dropped_messages += dropped;
+                    let per_msg = if msgs > 0 {
+                        SimTime::from_secs_f64(bytes as f64 / msgs as f64 / self.network.bandwidth)
+                    } else {
+                        SimTime::ZERO
+                    };
+                    let retrans = (self.network.latency * 2 + per_msg) * dropped;
+                    if R::ENABLED {
+                        rec.fault(FaultEvent {
+                            kind: FaultKind::DroppedMessage,
+                            action: FaultAction::Resent,
+                            at_ns: (report.total + net).as_nanos(),
+                            tasks: dropped,
+                        });
+                    }
+                    net + retrans
+                } else {
+                    net
+                };
+                if R::ENABLED && msgs > 0 {
+                    rec.event(Stage::NetSend, report.total.as_nanos(), bytes);
+                    rec.add("net_msgs_sent", msgs);
+                    rec.add("net_bytes_sent", bytes);
+                }
+                summaries.push(summary);
+                (report, net)
+            })
+            .collect();
+        (self.reduce(nodes, population), summaries)
     }
 
     fn reduce(
@@ -215,6 +301,68 @@ mod tests {
         let cpu = s.run(&pop, ResourceMode::CpuOnly { threads: 16 }).total;
         let hyb = s.run(&pop, hybrid()).total;
         assert!(hyb < cpu, "hybrid {hyb} vs cpu {cpu}");
+    }
+
+    #[test]
+    fn all_empty_plans_match_run_recorded() {
+        use madness_trace::NullRecorder;
+        let s = sim();
+        let pop = TaskPopulation::even(spec(), 12_000, 4);
+        let base = s.run_recorded(&pop, hybrid(), &mut NullRecorder);
+        let plans = vec![FaultPlan::none(); 4];
+        let (faulty, sums) = s.run_with_faults(
+            &pop,
+            hybrid(),
+            &plans,
+            RecoveryPolicy::default(),
+            &mut NullRecorder,
+        );
+        assert_eq!(base.total, faulty.total, "empty plans must be inert");
+        assert_eq!(base.slowest_node, faulty.slowest_node);
+        assert_eq!(base.nodes, faulty.nodes);
+        for (sum, &n) in sums.iter().zip(&pop.per_node) {
+            assert!(sum.conserved(n), "{sum:?}");
+        }
+    }
+
+    #[test]
+    fn straggler_node_becomes_critical() {
+        use madness_trace::NullRecorder;
+        let s = sim();
+        let pop = TaskPopulation::even(spec(), 12_000, 4);
+        let clean = s.run(&pop, hybrid()).total;
+        let mut plans = vec![FaultPlan::none(); 4];
+        plans[2] = FaultPlan::none().with_straggler(3.0);
+        let (r, sums) = s.run_with_faults(
+            &pop,
+            hybrid(),
+            &plans,
+            RecoveryPolicy::default(),
+            &mut NullRecorder,
+        );
+        assert_eq!(r.slowest_node, 2, "the straggler must set the makespan");
+        assert!(r.total > clean, "straggler {} vs clean {}", r.total, clean);
+        assert!(sums
+            .iter()
+            .enumerate()
+            .all(|(i, s)| s.conserved(pop.per_node[i])));
+    }
+
+    #[test]
+    fn dropped_messages_are_resent_and_counted() {
+        use madness_trace::MemRecorder;
+        let s = sim();
+        let pop = TaskPopulation::even(spec(), 6_000, 2);
+        let mut rec = MemRecorder::new();
+        let plans = vec![FaultPlan::seeded(9).with_message_drop_rate(0.5); 2];
+        let (r, sums) =
+            s.run_with_faults(&pop, hybrid(), &plans, RecoveryPolicy::default(), &mut rec);
+        let dropped: u64 = sums.iter().map(|s| s.dropped_messages).sum();
+        assert!(dropped > 0, "half the messages must drop");
+        assert!(rec
+            .faults()
+            .any(|e| e.action == FaultAction::Resent && e.kind == FaultKind::DroppedMessage));
+        assert!(r.network_time > s.network.injection_time(pop.per_node[0], 8_000));
     }
 
     #[test]

@@ -39,5 +39,5 @@ pub mod workload;
 pub use cluster::{ClusterReport, ClusterSim};
 pub use des::{Des, FifoResource};
 pub use network::NetworkModel;
-pub use node::{NodeParams, NodeReport, NodeSim, ResourceMode};
+pub use node::{FaultSummary, NodeParams, NodeReport, NodeSim, ResourceMode};
 pub use workload::{TaskPopulation, WorkloadSpec};

@@ -24,6 +24,10 @@
 
 use crate::des::FifoResource;
 use crate::workload::WorkloadSpec;
+use madness_faults::{
+    FaultAction, FaultEvent, FaultInjector, FaultKind, FaultPlan, GpuGate, HealthTracker,
+    RecoveryPolicy,
+};
 use madness_gpusim::{
     DeviceSpec, ExecMode, GpuDevice, KernelKind, PinnedBufferPool, SimTime, TransformTask,
 };
@@ -110,7 +114,7 @@ impl Default for NodeParams {
 }
 
 /// Timing report of one node's run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct NodeReport {
     /// End-to-end simulated time.
     pub total: SimTime,
@@ -126,6 +130,90 @@ pub struct NodeReport {
     pub n_batches: u64,
     /// Average CPU share `k` the dispatcher chose (hybrid only).
     pub mean_split_k: f64,
+}
+
+/// Recovery bookkeeping of one fault-aware node run
+/// ([`NodeSim::simulate_faulty`]).
+///
+/// The cardinal conservation law: every task completes exactly once, so
+/// `completed_cpu + completed_gpu + lost` equals the run's task count —
+/// [`FaultSummary::conserved`] checks it, the chaos proptests enforce it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Task-level GPU failures observed (a task retried twice counts
+    /// twice).
+    pub gpu_task_failures: u64,
+    /// GPU batch retry attempts (each after a backoff).
+    pub gpu_retries: u64,
+    /// Tasks recovered by falling back to the CPU.
+    pub cpu_fallback_tasks: u64,
+    /// Batch timeouts detected. The batch's tasks completed (late) and
+    /// are **not** re-run — detection only dings device health.
+    pub timeouts_detected: u64,
+    /// Quarantines entered.
+    pub quarantines: u64,
+    /// Probing re-admissions out of quarantine.
+    pub readmissions: u64,
+    /// Tasks whose compute completed on the GPU.
+    pub completed_gpu: u64,
+    /// Tasks whose compute completed on the CPU (planned share plus
+    /// fallbacks).
+    pub completed_cpu: u64,
+    /// Tasks that completed nowhere. Stays 0 as long as the CPU
+    /// emergency path exists; reported so a regression is loud.
+    pub lost: u64,
+    /// Network messages dropped and retransmitted (cluster level).
+    pub dropped_messages: u64,
+}
+
+impl FaultSummary {
+    /// Task conservation: every one of `n_tasks` accounted exactly once.
+    pub fn conserved(&self, n_tasks: u64) -> bool {
+        self.completed_cpu + self.completed_gpu + self.lost == n_tasks
+    }
+
+    /// Accumulates another node's summary (cluster aggregation).
+    pub fn absorb(&mut self, other: &FaultSummary) {
+        self.gpu_task_failures += other.gpu_task_failures;
+        self.gpu_retries += other.gpu_retries;
+        self.cpu_fallback_tasks += other.cpu_fallback_tasks;
+        self.timeouts_detected += other.timeouts_detected;
+        self.quarantines += other.quarantines;
+        self.readmissions += other.readmissions;
+        self.completed_gpu += other.completed_gpu;
+        self.completed_cpu += other.completed_cpu;
+        self.lost += other.lost;
+        self.dropped_messages += other.dropped_messages;
+    }
+}
+
+/// Everything the fault-aware pipeline threads through one run.
+struct FaultCtx {
+    inj: FaultInjector,
+    health: HealthTracker,
+    policy: RecoveryPolicy,
+    summary: FaultSummary,
+    /// False for the inert context the fault-free entry points use: all
+    /// recovery machinery (gates, watchdog, timeout detection) is
+    /// bypassed so those paths stay bit-identical to before it existed.
+    active: bool,
+}
+
+impl FaultCtx {
+    fn new(plan: &FaultPlan, policy: RecoveryPolicy) -> Self {
+        let inj = FaultInjector::new(plan);
+        FaultCtx {
+            active: !inj.is_inert(),
+            inj,
+            health: HealthTracker::new(policy),
+            policy,
+            summary: FaultSummary::default(),
+        }
+    }
+
+    fn inert() -> Self {
+        FaultCtx::new(&FaultPlan::none(), RecoveryPolicy::default())
+    }
 }
 
 /// Timing-only task for `spec`, carrying effective ranks when the
@@ -185,12 +273,49 @@ impl NodeSim {
         mode: ResourceMode,
         rec: &mut R,
     ) -> NodeReport {
+        self.simulate_inner(spec, n_tasks, mode, rec, &mut FaultCtx::inert())
+    }
+
+    /// [`NodeSim::simulate_recorded`] under a fault plan: faults from
+    /// `plan` are injected into the pipeline, and the node recovers per
+    /// `policy` — failed GPU batches retry with capped exponential
+    /// backoff, exhausted retries fall back to the CPU, repeated
+    /// failures quarantine the device behind a probing re-admission
+    /// gate, and a straggler multiplier slows the whole node. Every
+    /// fault/retry/fallback/quarantine/re-admission is journaled through
+    /// `rec` as a [`FaultEvent`].
+    ///
+    /// With [`FaultPlan::none`] the report is bit-identical to
+    /// [`NodeSim::simulate_recorded`]'s (pinned by the
+    /// `fault_free_identity` integration tests).
+    pub fn simulate_faulty<R: Recorder>(
+        &self,
+        spec: &WorkloadSpec,
+        n_tasks: u64,
+        mode: ResourceMode,
+        plan: &FaultPlan,
+        policy: RecoveryPolicy,
+        rec: &mut R,
+    ) -> (NodeReport, FaultSummary) {
+        let mut ctx = FaultCtx::new(plan, policy);
+        let report = self.simulate_inner(spec, n_tasks, mode, rec, &mut ctx);
+        (report, ctx.summary)
+    }
+
+    fn simulate_inner<R: Recorder>(
+        &self,
+        spec: &WorkloadSpec,
+        n_tasks: u64,
+        mode: ResourceMode,
+        rec: &mut R,
+        ctx: &mut FaultCtx,
+    ) -> NodeReport {
         if n_tasks == 0 {
             return NodeReport::default();
         }
         match mode {
             ResourceMode::CpuOnly { threads } => {
-                self.simulate_cpu_only(spec, n_tasks, threads, rec)
+                self.simulate_cpu_only(spec, n_tasks, threads, rec, ctx)
             }
             ResourceMode::GpuOnly {
                 streams,
@@ -205,6 +330,7 @@ impl NodeSim {
                 kernel,
                 false,
                 rec,
+                ctx,
             ),
             ResourceMode::Hybrid {
                 compute_threads,
@@ -220,6 +346,7 @@ impl NodeSim {
                 kernel,
                 false,
                 rec,
+                ctx,
             ),
             ResourceMode::AdaptiveHybrid {
                 compute_threads,
@@ -235,6 +362,7 @@ impl NodeSim {
                 kernel,
                 true,
                 rec,
+                ctx,
             ),
         }
     }
@@ -247,19 +375,29 @@ impl NodeSim {
         n_tasks: u64,
         threads: usize,
         rec: &mut R,
+        ctx: &mut FaultCtx,
     ) -> NodeReport {
-        let compute = self.params.cpu.batch_time(
-            n_tasks as usize,
-            spec.task_flops_cpu(),
-            spec.d,
-            spec.k,
-            spec.rank,
-            threads,
-        );
+        // The only fault class that touches a CPU-only node is the
+        // slow-node straggler; `scale(1.0)` is the identity, bit-exactly.
+        let straggler = ctx.inj.straggler_multiplier();
+        let compute = self
+            .params
+            .cpu
+            .batch_time(
+                n_tasks as usize,
+                spec.task_flops_cpu(),
+                spec.d,
+                spec.k,
+                spec.rank,
+                threads,
+            )
+            .scale(straggler);
         let data_each = self.data_per_task(spec);
         let data = SimTime::from_secs_f64(
             data_each.as_secs_f64() * n_tasks as f64 / self.data_eff(threads),
-        );
+        )
+        .scale(straggler);
+        ctx.summary.completed_cpu += n_tasks;
         if R::ENABLED {
             // The serialized phases, with the data time split 60/40 into
             // pre/post as in the pipelined path (post is the exact
@@ -298,8 +436,13 @@ impl NodeSim {
         kernel: KernelKind,
         adaptive: bool,
         rec: &mut R,
+        ctx: &mut FaultCtx,
     ) -> NodeReport {
         let p = &self.params;
+        // A straggler node runs everything slower — data threads,
+        // dispatcher, device, CPU workers. `scale(1.0)` is bit-exact
+        // identity, so a non-straggler plan perturbs nothing.
+        let straggler = ctx.inj.straggler_multiplier();
         let mut device = GpuDevice::new(p.gpu.clone(), streams.max(1));
         // Pinned staging buffers are page-locked once up front — on the
         // device-management thread, concurrently with CPU-side work.
@@ -310,7 +453,7 @@ impl NodeSim {
         // fee on microscopic workloads the dispatcher routes entirely to
         // the CPU — the committed cc 48b56d… proptest regression.)
         let pool = PinnedBufferPool::new(&p.gpu, 4, 32 << 20);
-        let pool_ready = pool.setup_cost();
+        let pool_ready = pool.setup_cost().scale(straggler);
         if R::ENABLED {
             // The page-lock DMA setup occupies the transfer path up front.
             rec.span(Stage::Transfer, 0, pool_ready.as_nanos(), 0);
@@ -338,8 +481,8 @@ impl NodeSim {
         let mut cpu_busy = SimTime::ZERO;
         let mut gpu_busy = SimTime::ZERO;
         let mut post_release = Vec::new();
-        let pre_each_eff = pre_each * lane_slowdown;
-        let post_each_eff = post_each * lane_slowdown;
+        let pre_each_eff = (pre_each * lane_slowdown).scale(straggler);
+        let post_each_eff = (post_each * lane_slowdown).scale(straggler);
         // Learned-dispatcher state (AdaptiveHybrid only). The simulated
         // workload is homogeneous, so all batches share one kind.
         let mut learned = AdaptiveDispatcher::new(AdaptiveConfig::default());
@@ -347,6 +490,9 @@ impl NodeSim {
             op: 0x51D,
             data_hash: 0,
         };
+        // Most recent fault cause — labels device-lifecycle journal
+        // entries (quarantine, readmission) with what provoked them.
+        let mut last_fault_kind = FaultKind::StreamStall;
 
         while remaining > 0 {
             let b = remaining.min(batch_cap);
@@ -381,15 +527,45 @@ impl NodeSim {
                 );
             }
 
+            // Device-health gate (fault-aware runs only): the queue-depth
+            // watchdog catches a device backpressure failed to drain; a
+            // quarantine closes the GPU; an expired quarantine admits one
+            // probe task. A lost device is revived (driver reset) when
+            // its quarantine expires.
+            let gate = if ctx.active {
+                if adaptive {
+                    let depth = device.queue_depth(release);
+                    if learned.queue_watchdog(depth) {
+                        let at = release.as_nanos();
+                        ctx.health.force_quarantine(at);
+                        rec.fault(FaultEvent {
+                            kind: last_fault_kind,
+                            action: FaultAction::Quarantined,
+                            at_ns: at,
+                            tasks: 0,
+                        });
+                    }
+                }
+                let g = ctx.health.gate(release.as_nanos());
+                if g != GpuGate::Closed && device.is_lost() {
+                    device.revive();
+                }
+                g
+            } else {
+                GpuGate::Open
+            };
+
             // Split decision at batch-flush time: the a-priori model
             // split (Hybrid), or the learned dispatcher consulted with
             // the device's in-flight queue depth at flush time
-            // (AdaptiveHybrid — it is never told `m` or `n`).
+            // (AdaptiveHybrid — it is never told `m` or `n`). The gate
+            // overrides both: Closed routes the flush to the CPU (one
+            // emergency host thread when the mode has no compute
+            // threads), Probe sends a single canary task to the GPU.
             let (cpu_n, gpu_n, k) = match compute_threads {
-                None => (0u64, b, 0.0),
                 Some(_) if adaptive => {
                     let depth = device.queue_depth(release);
-                    let decision = learned.plan(SIM_KIND, b as usize, depth);
+                    let decision = learned.plan_gated(SIM_KIND, b as usize, depth, gate);
                     if R::ENABLED {
                         rec.observe_dispatch(decision.sample());
                     }
@@ -399,6 +575,9 @@ impl NodeSim {
                         decision.k,
                     )
                 }
+                _ if gate == GpuGate::Closed => (b, 0u64, 1.0),
+                _ if gate == GpuGate::Probe => (b - 1, 1u64, (b - 1) as f64 / b as f64),
+                None => (0u64, b, 0.0),
                 Some(ct) => {
                     let m = p
                         .cpu
@@ -428,6 +607,7 @@ impl NodeSim {
             }
             let mut flush_gpu_ns = 0u64;
             let mut flush_cpu_ns = 0u64;
+            let mut flush_gpu_done = 0u64;
 
             // GPU part: the dispatcher rearranges the GPU share into the
             // pinned transfer buffers (it must wait for the page-locks),
@@ -436,9 +616,19 @@ impl NodeSim {
             // blocks and later batches ride free). The CPU share is
             // handed straight to the worker queue — it never touches the
             // transfer buffers, so it costs the dispatcher nothing.
+            //
+            // Under faults the batch may come back with failed tasks:
+            // those retry (whole failed remainder, after a jittered
+            // backoff) up to the policy's cap, then fall back to the
+            // CPU. A batch that completes but blows the cost model's
+            // timeout expectation is *detected* — health penalty only,
+            // never re-run: its tasks finished, re-executing them would
+            // break conservation.
             if gpu_n > 0 {
-                let (disp_start, disp_end) =
-                    dispatcher.serve(release.max(pool_ready), p.dispatch_per_task * gpu_n);
+                let (disp_start, disp_end) = dispatcher.serve(
+                    release.max(pool_ready),
+                    (p.dispatch_per_task * gpu_n).scale(straggler),
+                );
                 if R::ENABLED {
                     rec.span(
                         Stage::Dispatch,
@@ -448,44 +638,161 @@ impl NodeSim {
                     );
                     rec.add("tasks_gpu", gpu_n);
                 }
-                let tasks: Vec<TransformTask> = (0..gpu_n).map(|_| shape_task(spec)).collect();
-                // The device journals its own transfer/kernel spans; it
-                // needs the batch's absolute start, which for the 1-lane
-                // GPU resource is what `serve` will hand back below.
-                let batch_start = gpu_res.next_start(disp_end);
-                let out = device.execute_batch_recorded(
-                    &tasks,
-                    kernel,
-                    ExecMode::Timing,
-                    batch_start,
-                    rec,
-                );
-                gpu_busy += out.time;
-                let (gstart, gend) = gpu_res.serve(disp_end, out.time);
-                debug_assert_eq!(gstart, batch_start);
-                if R::ENABLED {
-                    rec.gauge_hwm(
-                        "pinned_pool_hwm_bytes",
-                        out.breakdown.bytes_s + out.breakdown.bytes_h,
+                let mut pending = gpu_n;
+                let mut submit = disp_end;
+                let mut attempt = 0u32;
+                loop {
+                    let tasks: Vec<TransformTask> =
+                        (0..pending).map(|_| shape_task(spec)).collect();
+                    // The device journals its own transfer/kernel spans;
+                    // it needs the batch's absolute start, which for the
+                    // 1-lane GPU resource is what `serve` will hand back
+                    // below.
+                    let batch_start = gpu_res.next_start(submit);
+                    let out = device.execute_batch_injected(
+                        &tasks,
+                        kernel,
+                        ExecMode::Timing,
+                        batch_start,
+                        rec,
+                        &mut ctx.inj,
                     );
+                    let gtime = out.time.scale(straggler);
+                    gpu_busy += gtime;
+                    let (gstart, gend) = gpu_res.serve(submit, gtime);
+                    debug_assert_eq!(gstart, batch_start);
+                    if R::ENABLED {
+                        rec.gauge_hwm(
+                            "pinned_pool_hwm_bytes",
+                            out.breakdown.bytes_s + out.breakdown.bytes_h,
+                        );
+                    }
+                    if adaptive {
+                        flush_gpu_ns += gtime.as_nanos();
+                        device.note_inflight(gstart, gend);
+                    }
+                    let n_failed = out.failed.len() as u64;
+                    let n_ok = pending - n_failed;
+                    if n_ok > 0 {
+                        flush_gpu_done += n_ok;
+                        post_release.push((gend, n_ok));
+                    }
+                    if n_failed == 0 {
+                        if ctx.active {
+                            let at = gend.as_nanos();
+                            let timed_out = adaptive
+                                && learned.batch_timed_out(
+                                    SIM_KIND,
+                                    pending as usize,
+                                    gtime.as_nanos(),
+                                );
+                            if timed_out {
+                                ctx.summary.timeouts_detected += 1;
+                                rec.fault(FaultEvent {
+                                    kind: FaultKind::StreamStall,
+                                    action: FaultAction::Detected,
+                                    at_ns: at,
+                                    tasks: pending,
+                                });
+                                ctx.health.on_batch_failed(at);
+                            } else if ctx.health.on_batch_ok(at) {
+                                rec.fault(FaultEvent {
+                                    kind: last_fault_kind,
+                                    action: FaultAction::Readmitted,
+                                    at_ns: at,
+                                    tasks: pending,
+                                });
+                                if adaptive {
+                                    // The device behind the old n̂ was
+                                    // reset; re-probe it.
+                                    learned.reset_gpu_model(SIM_KIND);
+                                }
+                            }
+                        }
+                        break;
+                    }
+
+                    // --- recovery: retry with backoff, else CPU --------
+                    ctx.summary.gpu_task_failures += n_failed;
+                    last_fault_kind = out.failed[0].1.kind();
+                    let at = gend.as_nanos();
+                    let q_before = ctx.health.quarantines();
+                    if device.is_lost() {
+                        ctx.health.force_quarantine(at);
+                    } else {
+                        ctx.health.on_batch_failed(at);
+                    }
+                    if ctx.health.quarantines() > q_before {
+                        rec.fault(FaultEvent {
+                            kind: last_fault_kind,
+                            action: FaultAction::Quarantined,
+                            at_ns: at,
+                            tasks: n_failed,
+                        });
+                    }
+                    let quarantined = ctx.health.quarantines() > q_before;
+                    if !quarantined && attempt < ctx.policy.max_retries {
+                        attempt += 1;
+                        ctx.summary.gpu_retries += 1;
+                        let backoff =
+                            SimTime::from_nanos(ctx.policy.backoff_ns(attempt - 1, n_batches));
+                        rec.fault(FaultEvent {
+                            kind: last_fault_kind,
+                            action: FaultAction::Retried,
+                            at_ns: at,
+                            tasks: n_failed,
+                        });
+                        submit = gend + backoff;
+                        pending = n_failed;
+                        continue;
+                    }
+                    // Retries exhausted (or the device just got
+                    // quarantined): the failed remainder falls back to
+                    // the host so no task is ever lost.
+                    rec.fault(FaultEvent {
+                        kind: last_fault_kind,
+                        action: FaultAction::CpuFallback,
+                        at_ns: at,
+                        tasks: n_failed,
+                    });
+                    ctx.summary.cpu_fallback_tasks += n_failed;
+                    let ct = compute_threads.unwrap_or(1);
+                    let dur = p
+                        .cpu
+                        .batch_time(
+                            n_failed as usize,
+                            spec.task_flops_cpu(),
+                            spec.d,
+                            spec.k,
+                            spec.rank,
+                            ct,
+                        )
+                        .scale(straggler);
+                    cpu_busy += dur;
+                    let (fstart, fend) = cpu_res.serve(gend, dur);
+                    if R::ENABLED {
+                        rec.span(Stage::CpuCompute, fstart.as_nanos(), fend.as_nanos(), 0);
+                    }
+                    ctx.summary.completed_cpu += n_failed;
+                    post_release.push((fend, n_failed));
+                    break;
                 }
-                if adaptive {
-                    flush_gpu_ns = out.time.as_nanos();
-                    device.note_inflight(gstart, gend);
-                }
-                post_release.push((gend, gpu_n));
+                ctx.summary.completed_gpu += flush_gpu_done;
             }
             // CPU part.
             if cpu_n > 0 {
                 let ct = compute_threads.unwrap_or(1);
-                let dur = p.cpu.batch_time(
-                    cpu_n as usize,
-                    spec.task_flops_cpu(),
-                    spec.d,
-                    spec.k,
-                    spec.rank,
-                    ct,
-                );
+                let dur = p
+                    .cpu
+                    .batch_time(
+                        cpu_n as usize,
+                        spec.task_flops_cpu(),
+                        spec.d,
+                        spec.k,
+                        spec.rank,
+                        ct,
+                    )
+                    .scale(straggler);
                 cpu_busy += dur;
                 let (cstart, cend) = cpu_res.serve(release, dur);
                 if R::ENABLED {
@@ -495,19 +802,27 @@ impl NodeSim {
                 if adaptive {
                     flush_cpu_ns = dur.as_nanos();
                 }
+                ctx.summary.completed_cpu += cpu_n;
                 post_release.push((cend, cpu_n));
             }
             if adaptive {
                 // Close the loop: this flush's simulated batch times are
-                // the dispatcher's measurements for the next one.
+                // the dispatcher's measurements for the next one. Only
+                // tasks that actually completed on the GPU count as GPU
+                // samples — a flush whose GPU share all failed teaches
+                // the health tracker, not the cost model.
                 learned.record(
                     SIM_KIND,
                     cpu_n as usize,
                     flush_cpu_ns,
-                    gpu_n as usize,
+                    flush_gpu_done as usize,
                     flush_gpu_ns,
                 );
             }
+        }
+        if ctx.active {
+            ctx.summary.quarantines = ctx.health.quarantines();
+            ctx.summary.readmissions = ctx.health.readmissions();
         }
 
         // Postprocess accumulations on the data lanes.
@@ -769,5 +1084,165 @@ mod tests {
         let t_full = sm.simulate(&full, 3_000, mode).total;
         let t_rr = sm.simulate(&rr, 3_000, mode).total;
         assert_eq!(t_full, t_rr, "custom kernel must ignore rank reduction");
+    }
+
+    fn hybrid() -> ResourceMode {
+        ResourceMode::Hybrid {
+            compute_threads: 10,
+            data_threads: 5,
+            streams: 5,
+            kernel: KernelKind::CustomMtxmq,
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical_and_conserves() {
+        let s = spec_3d_k10();
+        let sm = sim();
+        for mode in [
+            ResourceMode::CpuOnly { threads: 16 },
+            ResourceMode::GpuOnly {
+                streams: 5,
+                kernel: KernelKind::CustomMtxmq,
+                data_threads: 12,
+            },
+            hybrid(),
+            ResourceMode::AdaptiveHybrid {
+                compute_threads: 10,
+                data_threads: 5,
+                streams: 5,
+                kernel: KernelKind::CustomMtxmq,
+            },
+        ] {
+            let baseline = sm.simulate(&s, 4_000, mode);
+            let (faulty, sum) = sm.simulate_faulty(
+                &s,
+                4_000,
+                mode,
+                &FaultPlan::none(),
+                RecoveryPolicy::default(),
+                &mut NullRecorder,
+            );
+            assert_eq!(baseline, faulty, "empty plan must be inert: {mode:?}");
+            assert!(sum.conserved(4_000), "{sum:?}");
+            assert_eq!(sum.gpu_task_failures, 0);
+            assert_eq!(sum.quarantines, 0);
+        }
+    }
+
+    #[test]
+    fn straggler_slows_the_whole_node() {
+        let s = spec_3d_k10();
+        let sm = sim();
+        let clean = sm.simulate(&s, 4_000, hybrid()).total;
+        let (slow, sum) = sm.simulate_faulty(
+            &s,
+            4_000,
+            hybrid(),
+            &FaultPlan::none().with_straggler(2.0),
+            RecoveryPolicy::default(),
+            &mut NullRecorder,
+        );
+        assert!(sum.conserved(4_000), "{sum:?}");
+        let ratio = slow.total.as_secs_f64() / clean.as_secs_f64();
+        assert!(
+            (1.5..2.5).contains(&ratio),
+            "2× straggler must roughly double the node: {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn launch_failures_recover_and_conserve() {
+        let s = spec_3d_k10();
+        let (report, sum) = sim().simulate_faulty(
+            &s,
+            4_000,
+            hybrid(),
+            &FaultPlan::seeded(7).with_launch_fail_rate(0.2),
+            RecoveryPolicy::default(),
+            &mut NullRecorder,
+        );
+        assert!(sum.conserved(4_000), "{sum:?}");
+        assert!(sum.gpu_task_failures > 0, "{sum:?}");
+        assert!(
+            sum.gpu_retries > 0 || sum.cpu_fallback_tasks > 0,
+            "failures must provoke recovery: {sum:?}"
+        );
+        assert_eq!(sum.lost, 0);
+        assert!(report.total > SimTime::ZERO);
+    }
+
+    #[test]
+    fn gpu_only_mode_falls_back_to_emergency_host_thread() {
+        let s = spec_3d_k10();
+        let mode = ResourceMode::GpuOnly {
+            streams: 5,
+            kernel: KernelKind::CustomMtxmq,
+            data_threads: 12,
+        };
+        // Every launch fails: retries are futile, everything must land
+        // on the single emergency host thread — and still conserve.
+        let (_, sum) = sim().simulate_faulty(
+            &s,
+            500,
+            mode,
+            &FaultPlan::seeded(1).with_launch_fail_rate(1.0),
+            RecoveryPolicy::default(),
+            &mut NullRecorder,
+        );
+        assert!(sum.conserved(500), "{sum:?}");
+        assert_eq!(sum.completed_gpu, 0, "{sum:?}");
+        assert_eq!(sum.completed_cpu, 500, "{sum:?}");
+        assert!(sum.cpu_fallback_tasks > 0);
+    }
+
+    #[test]
+    fn device_lost_quarantines_then_readmits() {
+        let s = spec_3d_k10();
+        // Lose the device early; the run is long enough for the
+        // quarantine to expire and a probe to re-admit the device.
+        let (report, sum) = sim().simulate_faulty(
+            &s,
+            20_000,
+            hybrid(),
+            &FaultPlan::none().with_device_lost_at(1_000_000),
+            RecoveryPolicy::default(),
+            &mut NullRecorder,
+        );
+        assert!(sum.conserved(20_000), "{sum:?}");
+        assert!(sum.quarantines >= 1, "{sum:?}");
+        assert!(sum.readmissions >= 1, "{sum:?}");
+        assert!(
+            sum.completed_gpu > 0,
+            "device must do work again after re-admission: {sum:?}"
+        );
+        assert!(report.total > SimTime::ZERO);
+    }
+
+    #[test]
+    fn fault_events_are_journaled() {
+        use madness_trace::MemRecorder;
+        let s = spec_3d_k10();
+        let mut rec = MemRecorder::new();
+        let (_, sum) = sim().simulate_faulty(
+            &s,
+            2_000,
+            hybrid(),
+            &FaultPlan::seeded(5).with_launch_fail_rate(0.3),
+            RecoveryPolicy::default(),
+            &mut rec,
+        );
+        assert!(sum.conserved(2_000));
+        let ev: Vec<_> = rec.faults().collect();
+        assert!(!ev.is_empty(), "faults must be journaled");
+        assert!(
+            ev.iter().any(|e| e.action == FaultAction::Injected),
+            "injection events missing"
+        );
+        assert!(
+            ev.iter()
+                .any(|e| matches!(e.action, FaultAction::Retried | FaultAction::CpuFallback)),
+            "recovery events missing"
+        );
     }
 }

@@ -1,0 +1,152 @@
+//! Regression pin (ISSUE 4, satellite 6): an **empty** fault plan is
+//! perfectly inert. Every fault-aware entry point, fed
+//! [`FaultPlan::none`], must produce output *bit-identical* to its
+//! fault-oblivious twin — same `NodeReport`, same `BatchOutcome`, same
+//! trace journal byte-for-byte. The fault machinery may only ever cost
+//! something when a schedule is actually loaded.
+
+use madness_cluster::cluster::ClusterSim;
+use madness_cluster::network::NetworkModel;
+use madness_cluster::node::{NodeParams, NodeSim, ResourceMode};
+use madness_cluster::workload::{TaskPopulation, WorkloadSpec};
+use madness_faults::{FaultInjector, FaultPlan, RecoveryPolicy};
+use madness_gpusim::{ExecMode, GpuDevice, KernelKind, SimTime, TransformTask};
+use madness_trace::MemRecorder;
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        d: 3,
+        k: 10,
+        rank: 100,
+        rr_mean_rank: None,
+    }
+}
+
+fn all_modes() -> [ResourceMode; 4] {
+    [
+        ResourceMode::CpuOnly { threads: 16 },
+        ResourceMode::GpuOnly {
+            streams: 5,
+            kernel: KernelKind::CustomMtxmq,
+            data_threads: 12,
+        },
+        ResourceMode::Hybrid {
+            compute_threads: 10,
+            data_threads: 5,
+            streams: 5,
+            kernel: KernelKind::CustomMtxmq,
+        },
+        ResourceMode::AdaptiveHybrid {
+            compute_threads: 10,
+            data_threads: 5,
+            streams: 5,
+            kernel: KernelKind::CustomMtxmq,
+        },
+    ]
+}
+
+/// Node level: report and full trace journal identical in every mode.
+#[test]
+fn node_report_and_journal_bit_identical() {
+    let node = NodeSim::new(NodeParams::default());
+    for mode in all_modes() {
+        let mut rec_a = MemRecorder::new();
+        let base = node.simulate_recorded(&spec(), 5_000, mode, &mut rec_a);
+
+        let mut rec_b = MemRecorder::new();
+        let (faulty, sum) = node.simulate_faulty(
+            &spec(),
+            5_000,
+            mode,
+            &FaultPlan::none(),
+            RecoveryPolicy::default(),
+            &mut rec_b,
+        );
+
+        assert_eq!(base, faulty, "NodeReport diverged under {mode:?}");
+        assert_eq!(
+            rec_a.to_json(),
+            rec_b.to_json(),
+            "trace journal diverged under {mode:?}"
+        );
+        assert!(sum.conserved(5_000), "{sum:?}");
+        assert_eq!(sum.gpu_task_failures + sum.quarantines + sum.lost, 0);
+    }
+}
+
+/// Device level: `execute_batch_injected` with an inert injector matches
+/// `execute_batch_recorded` field for field, journal for journal.
+#[test]
+fn batch_outcome_bit_identical() {
+    let tasks: Vec<TransformTask> = (0..64)
+        .map(|i| TransformTask::shape_only(3, 10, 100, i))
+        .collect();
+    for mode in [ExecMode::Timing, ExecMode::Full] {
+        let mut dev_a = GpuDevice::new(Default::default(), 5);
+        let mut rec_a = MemRecorder::new();
+        let base = dev_a.execute_batch_recorded(
+            &tasks,
+            KernelKind::CustomMtxmq,
+            mode,
+            SimTime::ZERO,
+            &mut rec_a,
+        );
+
+        let mut dev_b = GpuDevice::new(Default::default(), 5);
+        let mut rec_b = MemRecorder::new();
+        let mut inert = FaultInjector::new(&FaultPlan::none());
+        let faulty = dev_b.execute_batch_injected(
+            &tasks,
+            KernelKind::CustomMtxmq,
+            mode,
+            SimTime::ZERO,
+            &mut rec_b,
+            &mut inert,
+        );
+
+        assert_eq!(base.time, faulty.time, "{mode:?}");
+        assert_eq!(base.breakdown, faulty.breakdown, "{mode:?}");
+        assert!(faulty.failed.is_empty(), "{mode:?}");
+        assert_eq!(base.results.len(), faulty.results.len());
+        for (a, b) in base.results.iter().zip(&faulty.results) {
+            match (a, b) {
+                (None, None) => {}
+                (Some(ta), Some(tb)) => assert_eq!(ta.as_slice(), tb.as_slice(), "{mode:?}"),
+                _ => panic!("result presence diverged under {mode:?}"),
+            }
+        }
+        assert_eq!(rec_a.to_json(), rec_b.to_json(), "{mode:?}");
+    }
+}
+
+/// Cluster level: all-empty plans reproduce `run_recorded` exactly —
+/// totals, per-node reports, and the journal.
+#[test]
+fn cluster_report_and_journal_bit_identical() {
+    let sim = ClusterSim::new(NodeSim::new(NodeParams::default()), NetworkModel::default());
+    let pop = TaskPopulation::even(spec(), 20_000, 5);
+    let mode = ResourceMode::Hybrid {
+        compute_threads: 10,
+        data_threads: 5,
+        streams: 5,
+        kernel: KernelKind::CustomMtxmq,
+    };
+
+    let mut rec_a = MemRecorder::new();
+    let base = sim.run_recorded(&pop, mode, &mut rec_a);
+
+    let mut rec_b = MemRecorder::new();
+    let plans = vec![FaultPlan::none(); 5];
+    let (faulty, sums) =
+        sim.run_with_faults(&pop, mode, &plans, RecoveryPolicy::default(), &mut rec_b);
+
+    assert_eq!(base.total, faulty.total);
+    assert_eq!(base.slowest_node, faulty.slowest_node);
+    assert_eq!(base.network_time, faulty.network_time);
+    assert_eq!(base.nodes, faulty.nodes);
+    assert_eq!(rec_a.to_json(), rec_b.to_json());
+    for (sum, &n) in sums.iter().zip(&pop.per_node) {
+        assert!(sum.conserved(n), "{sum:?}");
+        assert_eq!(sum.dropped_messages, 0);
+    }
+}

@@ -71,6 +71,19 @@ impl SimTime {
     pub fn min(self, rhs: SimTime) -> SimTime {
         SimTime(self.0.min(rhs.0))
     }
+
+    /// Multiplies by `factor`, returning `self` unchanged when
+    /// `factor == 1.0`. `Mul<f64>` round-trips through fractional
+    /// seconds and is not bit-exact even for the identity, which would
+    /// break the "no faults ⇒ bit-identical timings" invariant when a
+    /// straggler multiplier of 1.0 is applied.
+    pub fn scale(self, factor: f64) -> SimTime {
+        if factor == 1.0 {
+            self
+        } else {
+            self * factor
+        }
+    }
 }
 
 impl Add for SimTime {
@@ -163,6 +176,15 @@ mod tests {
         assert_eq!(b.saturating_sub(a), SimTime::ZERO);
         assert_eq!(a.max(b), a);
         assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn scale_identity_is_bit_exact() {
+        // 1 ns round-trips through f64 seconds as 1.0000000000000002e-9;
+        // scale(1.0) must not take that path.
+        let awkward = SimTime::from_nanos(123_456_789_123_456_789);
+        assert_eq!(awkward.scale(1.0), awkward);
+        assert_eq!(SimTime::from_nanos(1_000).scale(2.0).as_nanos(), 2_000);
     }
 
     #[test]

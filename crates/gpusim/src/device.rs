@@ -6,9 +6,16 @@ use crate::kernel::{execute_task, kernel_cost, KernelKind};
 use crate::spec::DeviceSpec;
 use crate::task::TransformTask;
 use crate::transfer::TransferEngine;
+use madness_faults::{FaultAction, FaultEvent, FaultInjector, FaultKind, FaultPlan, TaskError};
 use madness_tensor::{Tensor, Workspace};
 use madness_trace::{NullRecorder, Recorder, Stage};
+use parking_lot::Mutex;
 use rayon::prelude::*;
+use std::collections::VecDeque;
+
+/// Simulated latency between a device falling off the bus and the
+/// driver reporting the loss to the caller.
+const DEVICE_LOST_DETECT: SimTime = SimTime::from_micros(50);
 
 /// Whether batch execution performs the real arithmetic or only accounts
 /// time.
@@ -23,7 +30,7 @@ pub enum ExecMode {
 }
 
 /// Cost breakdown of one batch execution.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CostBreakdown {
     /// Host→device time for source tensors (one aggregated transfer).
     pub transfer_in_s: SimTime,
@@ -55,12 +62,25 @@ impl CostBreakdown {
 /// Result of [`GpuDevice::execute_batch`].
 #[derive(Debug)]
 pub struct BatchOutcome {
-    /// One result per task (`None` in timing mode).
+    /// One result per task (`None` in timing mode and for failed tasks).
     pub results: Vec<Option<Tensor>>,
     /// Simulated batch duration.
     pub time: SimTime,
     /// Where the time went.
     pub breakdown: CostBreakdown,
+    /// Tasks that did **not** complete, as `(batch index, cause)`.
+    /// Empty on the fault-free paths; populated only by
+    /// [`GpuDevice::execute_batch_injected`] under a non-empty
+    /// [`FaultPlan`]. Callers own re-dispatching these (GPU retry or
+    /// CPU fallback) — the device never re-runs a task by itself.
+    pub failed: Vec<(usize, TaskError)>,
+}
+
+impl BatchOutcome {
+    /// True when every task in the batch completed.
+    pub fn all_ok(&self) -> bool {
+        self.failed.is_empty()
+    }
 }
 
 /// The simulated device: spec + transfer engine + persistent block cache.
@@ -71,10 +91,14 @@ pub struct GpuDevice {
     cache: DeviceHCache,
     streams: usize,
     pinned: bool,
+    /// True after a device-lost fault fired; every batch fails with
+    /// [`TaskError::DeviceLost`] until [`GpuDevice::revive`].
+    lost: bool,
     /// Batches noted in flight on the stream queue: `(submit, complete)`
     /// windows, pruned on query. Feeds the adaptive dispatcher's
-    /// backpressure signal.
-    inflight: std::collections::VecDeque<(SimTime, SimTime)>,
+    /// backpressure signal. Behind a mutex so [`GpuDevice::queue_depth`]
+    /// can prune through `&self` — watchdogs and planners only observe.
+    inflight: Mutex<VecDeque<(SimTime, SimTime)>>,
 }
 
 impl GpuDevice {
@@ -92,8 +116,9 @@ impl GpuDevice {
             cache: DeviceHCache::new(spec.device_mem_bytes),
             streams,
             pinned: true,
+            lost: false,
             spec,
-            inflight: std::collections::VecDeque::new(),
+            inflight: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -129,7 +154,24 @@ impl GpuDevice {
     /// Clears device state between runs.
     pub fn reset(&mut self) {
         self.cache.clear();
-        self.inflight.clear();
+        self.inflight.get_mut().clear();
+        self.lost = false;
+    }
+
+    /// True after a device-lost fault; batches fail until
+    /// [`GpuDevice::revive`].
+    pub fn is_lost(&self) -> bool {
+        self.lost
+    }
+
+    /// Driver-level reset after a device loss: the device serves again,
+    /// but its operator cache is gone — re-admission pays the warm-up
+    /// transfers again, which is why quarantine + probing (rather than
+    /// instant retry) is the right recovery shape.
+    pub fn revive(&mut self) {
+        self.lost = false;
+        self.cache.clear();
+        self.inflight.get_mut().clear();
     }
 
     /// Notes a batch occupying the stream queue over the simulated
@@ -137,16 +179,19 @@ impl GpuDevice {
     /// they enqueue a batch; [`GpuDevice::queue_depth`] then answers how
     /// many earlier batches are still in flight — the backpressure
     /// signal the adaptive dispatcher shrinks the GPU share on.
-    pub fn note_inflight(&mut self, submit: SimTime, complete: SimTime) {
-        self.inflight.push_back((submit, complete));
+    pub fn note_inflight(&self, submit: SimTime, complete: SimTime) {
+        self.inflight.lock().push_back((submit, complete));
     }
 
     /// Batches noted in flight that have not completed by `now`
     /// (submitted at or before `now`, completing after it). Entries
-    /// finished by `now` are pruned.
-    pub fn queue_depth(&mut self, now: SimTime) -> usize {
-        self.inflight.retain(|&(_, complete)| complete > now);
-        self.inflight
+    /// finished by `now` are pruned through the interior mutex, so the
+    /// query needs only `&self` — observers (watchdogs, planners)
+    /// don't demand exclusive device access.
+    pub fn queue_depth(&self, now: SimTime) -> usize {
+        let mut inflight = self.inflight.lock();
+        inflight.retain(|&(_, complete)| complete > now);
+        inflight
             .iter()
             .filter(|&&(submit, _)| submit <= now)
             .count()
@@ -190,15 +235,59 @@ impl GpuDevice {
         batch_start: SimTime,
         rec: &mut R,
     ) -> BatchOutcome {
+        let mut inert = FaultInjector::new(&FaultPlan::none());
+        self.execute_batch_injected(tasks, kind, mode, batch_start, rec, &mut inert)
+    }
+
+    /// [`GpuDevice::execute_batch_recorded`] with fault injection: walks
+    /// `inj` at each injection point — device loss before/during the
+    /// batch, DMA timeout on the aggregated in-transfer (one timed-out
+    /// attempt is waited out and re-issued; a second failure aborts the
+    /// batch), per-task kernel-launch failure, and a stream stall
+    /// stretching the compute phase. Failures are reported per task in
+    /// [`BatchOutcome::failed`]; every injected fault is journaled
+    /// through `rec` as a [`FaultEvent`].
+    ///
+    /// With an inert injector ([`FaultPlan::none`]) every query answers
+    /// "no fault" and this is bit-identical to
+    /// [`GpuDevice::execute_batch_recorded`].
+    pub fn execute_batch_injected<R: Recorder>(
+        &mut self,
+        tasks: &[TransformTask],
+        kind: KernelKind,
+        mode: ExecMode,
+        batch_start: SimTime,
+        rec: &mut R,
+        inj: &mut FaultInjector,
+    ) -> BatchOutcome {
         let mut br = CostBreakdown::default();
         if tasks.is_empty() {
             return BatchOutcome {
                 results: Vec::new(),
                 time: SimTime::ZERO,
                 breakdown: br,
+                failed: Vec::new(),
             };
         }
         let t0 = batch_start.as_nanos();
+        let n = tasks.len();
+
+        // --- device lost before the batch even starts -------------------
+        if self.lost || inj.device_lost(t0) {
+            self.lost = true;
+            rec.fault(FaultEvent {
+                kind: FaultKind::DeviceLost,
+                action: FaultAction::Injected,
+                at_ns: t0,
+                tasks: n as u64,
+            });
+            return BatchOutcome {
+                results: vec![None; n],
+                time: DEVICE_LOST_DETECT,
+                breakdown: br,
+                failed: (0..n).map(|i| (i, TaskError::DeviceLost)).collect(),
+            };
+        }
 
         // --- transfers in ---------------------------------------------
         br.bytes_s = tasks.iter().map(|t| t.s_bytes()).sum();
@@ -209,6 +298,36 @@ impl GpuDevice {
             br.bytes_h += self.cache.ensure_batch(t.h_ids(), per_block);
         }
         br.transfer_in_h = self.engine.transfer_time(br.bytes_h, self.pinned);
+        if inj.transfer(t0).is_some() {
+            // The aggregated DMA timed out: the timeout window is the
+            // transfer's own length, then it is re-issued — in-transfer
+            // cost doubles.
+            rec.fault(FaultEvent {
+                kind: FaultKind::TransferTimeout,
+                action: FaultAction::Injected,
+                at_ns: t0,
+                tasks: n as u64,
+            });
+            br.transfer_in_s = br.transfer_in_s * 2;
+            br.transfer_in_h = br.transfer_in_h * 2;
+            if inj.transfer(t0).is_some() {
+                // The re-issue timed out too: abort the batch, hand the
+                // tasks back to the caller.
+                rec.fault(FaultEvent {
+                    kind: FaultKind::TransferTimeout,
+                    action: FaultAction::Injected,
+                    at_ns: t0,
+                    tasks: n as u64,
+                });
+                let wasted = br.transfer_in_s + br.transfer_in_h;
+                return BatchOutcome {
+                    results: vec![None; n],
+                    time: wasted,
+                    breakdown: br,
+                    failed: (0..n).map(|i| (i, TaskError::TransferTimedOut)).collect(),
+                };
+            }
+        }
         if R::ENABLED {
             let (hits, misses, evictions) = self.cache.stats();
             for (stage, counter, n) in [
@@ -231,12 +350,19 @@ impl GpuDevice {
             .iter()
             .map(|t| kernel_cost(&self.spec, kind, t))
             .collect();
-        br.launches = costs.iter().map(|c| c.launches).sum();
         let sms_per_kernel = costs.iter().map(|c| c.sms_used).max().unwrap_or(1);
         let lanes = self.concurrency(sms_per_kernel);
         let compute_begin = t0 + (br.transfer_in_s + br.transfer_in_h).as_nanos();
+        let mut failed: Vec<(usize, TaskError)> = Vec::new();
         let mut lane_load = vec![SimTime::ZERO; lanes];
-        for c in &costs {
+        for (i, c) in costs.iter().enumerate() {
+            if let Some(err) = inj.kernel_launch(compute_begin) {
+                // The launch itself fails — no stream time is consumed,
+                // the task simply never runs on the device.
+                failed.push((i, err));
+                continue;
+            }
+            br.launches += c.launches;
             let (idx, _) = lane_load
                 .iter()
                 .enumerate()
@@ -255,6 +381,14 @@ impl GpuDevice {
             }
             lane_load[idx] += c.duration;
         }
+        if !failed.is_empty() {
+            rec.fault(FaultEvent {
+                kind: FaultKind::KernelLaunchFail,
+                action: FaultAction::Injected,
+                at_ns: compute_begin,
+                tasks: failed.len() as u64,
+            });
+        }
         if R::ENABLED {
             rec.add("kernel_launches", br.launches);
             for (idx, load) in lane_load.iter().enumerate() {
@@ -262,9 +396,27 @@ impl GpuDevice {
             }
         }
         br.compute = lane_load.into_iter().max().unwrap_or(SimTime::ZERO);
+        if let Some(stall_ns) = inj.stream_stall(compute_begin) {
+            // All streams wedge for the stall window before draining;
+            // the batch completes, late. Detection is the caller's job.
+            rec.fault(FaultEvent {
+                kind: FaultKind::StreamStall,
+                action: FaultAction::Injected,
+                at_ns: compute_begin,
+                tasks: n as u64,
+            });
+            br.compute += SimTime::from_nanos(stall_ns);
+        }
 
         // --- transfer out ----------------------------------------------
-        br.bytes_out = br.bytes_s; // result blocks have the source shape
+        // Result blocks have the source shape; launch-failed tasks
+        // produced nothing to copy back.
+        br.bytes_out = tasks
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !failed.iter().any(|&(j, _)| j == *i))
+            .map(|(_, t)| t.s_bytes())
+            .sum();
         br.transfer_out = self.engine.transfer_time(br.bytes_out, self.pinned);
         if R::ENABLED {
             let out_begin = compute_begin + br.compute.as_nanos();
@@ -277,19 +429,52 @@ impl GpuDevice {
             rec.add("bytes_d2h", br.bytes_out);
         }
 
+        // --- device lost mid-batch --------------------------------------
+        if inj.device_lost(t0 + br.total().as_nanos()) {
+            // The device fell off the bus before the results landed:
+            // everything in flight is gone, including tasks whose
+            // kernels had finished.
+            self.lost = true;
+            rec.fault(FaultEvent {
+                kind: FaultKind::DeviceLost,
+                action: FaultAction::Injected,
+                at_ns: t0 + br.total().as_nanos(),
+                tasks: n as u64,
+            });
+            return BatchOutcome {
+                results: vec![None; n],
+                time: br.total() + DEVICE_LOST_DETECT,
+                breakdown: br,
+                failed: (0..n).map(|i| (i, TaskError::DeviceLost)).collect(),
+            };
+        }
+
         // --- arithmetic --------------------------------------------------
         let results: Vec<Option<Tensor>> = match mode {
             ExecMode::Timing => vec![None; tasks.len()],
-            ExecMode::Full => tasks
-                .par_iter()
-                .map(|t| Workspace::with(|ws| execute_task(t, ws.scratch())))
-                .collect(),
+            ExecMode::Full => {
+                let live: Vec<Option<&TransformTask>> = tasks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        if failed.iter().any(|&(j, _)| j == i) {
+                            None
+                        } else {
+                            Some(t)
+                        }
+                    })
+                    .collect();
+                live.par_iter()
+                    .map(|t| t.and_then(|t| Workspace::with(|ws| execute_task(t, ws.scratch()))))
+                    .collect()
+            }
         };
 
         BatchOutcome {
             results,
             time: br.total(),
             breakdown: br,
+            failed,
         }
     }
 }
@@ -298,6 +483,7 @@ impl GpuDevice {
 mod tests {
     use super::*;
     use crate::task::{HBlock, TransformTerm};
+    use madness_faults::Trigger;
     use madness_tensor::Shape;
     use std::sync::Arc;
 
@@ -447,6 +633,223 @@ mod tests {
         d.note_inflight(us(400), us(500));
         d.reset();
         assert_eq!(d.queue_depth(us(450)), 0, "reset must drain the queue");
+    }
+
+    #[test]
+    fn inert_injector_is_bit_identical() {
+        let batch = timing_batch(40);
+        let mut a = device(5);
+        let mut b = device(5);
+        let base = a.execute_batch_recorded(
+            &batch,
+            KernelKind::CustomMtxmq,
+            ExecMode::Timing,
+            SimTime::ZERO,
+            &mut madness_trace::NullRecorder,
+        );
+        let mut inj = FaultInjector::new(&FaultPlan::none());
+        let faulty = b.execute_batch_injected(
+            &batch,
+            KernelKind::CustomMtxmq,
+            ExecMode::Timing,
+            SimTime::ZERO,
+            &mut madness_trace::NullRecorder,
+            &mut inj,
+        );
+        assert_eq!(base.time, faulty.time);
+        assert_eq!(base.breakdown, faulty.breakdown);
+        assert!(faulty.failed.is_empty());
+    }
+
+    #[test]
+    fn launch_failures_skip_compute_and_report_per_task() {
+        let batch = timing_batch(10);
+        let plan = FaultPlan::none()
+            .with_injection(FaultKind::KernelLaunchFail, Trigger::AtCount(0))
+            .with_injection(FaultKind::KernelLaunchFail, Trigger::AtCount(3));
+        let mut inj = FaultInjector::new(&plan);
+        let mut rec = madness_trace::MemRecorder::new();
+        let out = device(5).execute_batch_injected(
+            &batch,
+            KernelKind::CustomMtxmq,
+            ExecMode::Timing,
+            SimTime::ZERO,
+            &mut rec,
+            &mut inj,
+        );
+        assert_eq!(
+            out.failed,
+            vec![(0, TaskError::LaunchFailed), (3, TaskError::LaunchFailed)]
+        );
+        assert!(!out.all_ok());
+        let clean = device(5).execute_batch(&batch, KernelKind::CustomMtxmq, ExecMode::Timing);
+        assert!(out.breakdown.launches < clean.breakdown.launches);
+        assert!(out.breakdown.bytes_out < clean.breakdown.bytes_out);
+        let ev: Vec<_> = rec.faults().collect();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].kind, FaultKind::KernelLaunchFail);
+        assert_eq!(ev[0].tasks, 2);
+    }
+
+    #[test]
+    fn launch_failures_yield_no_result_in_full_mode() {
+        let batch: Vec<_> = (0..4)
+            .map(|i| {
+                let s = Arc::new(Tensor::from_fn(Shape::cube(3, 5), |ix| (ix[0] + i) as f64));
+                TransformTask {
+                    d: 3,
+                    k: 5,
+                    s: Some(s),
+                    terms: Arc::new(vec![TransformTerm {
+                        coeff: 1.0,
+                        hs: (0..3)
+                            .map(|j| HBlock::new(j as u64, Arc::new(Tensor::identity(5))))
+                            .collect(),
+                        effective_ranks: None,
+                    }]),
+                }
+            })
+            .collect();
+        let plan =
+            FaultPlan::none().with_injection(FaultKind::KernelLaunchFail, Trigger::AtCount(1));
+        let mut inj = FaultInjector::new(&plan);
+        let out = device(3).execute_batch_injected(
+            &batch,
+            KernelKind::CustomMtxmq,
+            ExecMode::Full,
+            SimTime::ZERO,
+            &mut madness_trace::NullRecorder,
+            &mut inj,
+        );
+        assert!(out.results[0].is_some());
+        assert!(out.results[1].is_none(), "failed task must not return data");
+        assert!(out.results[2].is_some());
+        assert_eq!(out.failed, vec![(1, TaskError::LaunchFailed)]);
+    }
+
+    #[test]
+    fn double_transfer_timeout_aborts_batch() {
+        let batch = timing_batch(8);
+        let plan = FaultPlan::none()
+            .with_injection(FaultKind::TransferTimeout, Trigger::AtCount(0))
+            .with_injection(FaultKind::TransferTimeout, Trigger::AtCount(1));
+        let mut inj = FaultInjector::new(&plan);
+        let out = device(5).execute_batch_injected(
+            &batch,
+            KernelKind::CustomMtxmq,
+            ExecMode::Timing,
+            SimTime::ZERO,
+            &mut madness_trace::NullRecorder,
+            &mut inj,
+        );
+        assert_eq!(out.failed.len(), 8);
+        assert!(out
+            .failed
+            .iter()
+            .all(|&(_, e)| e == TaskError::TransferTimedOut));
+        assert_eq!(
+            out.breakdown.compute,
+            SimTime::ZERO,
+            "never reached compute"
+        );
+        assert!(out.time > SimTime::ZERO, "the timeouts cost time");
+    }
+
+    #[test]
+    fn single_transfer_timeout_doubles_in_transfer_but_completes() {
+        let batch = timing_batch(8);
+        let clean = device(5).execute_batch(&batch, KernelKind::CustomMtxmq, ExecMode::Timing);
+        let plan =
+            FaultPlan::none().with_injection(FaultKind::TransferTimeout, Trigger::AtCount(0));
+        let mut inj = FaultInjector::new(&plan);
+        let out = device(5).execute_batch_injected(
+            &batch,
+            KernelKind::CustomMtxmq,
+            ExecMode::Timing,
+            SimTime::ZERO,
+            &mut madness_trace::NullRecorder,
+            &mut inj,
+        );
+        assert!(out.all_ok(), "one timeout is absorbed by the re-issue");
+        assert_eq!(
+            out.breakdown.transfer_in_s,
+            clean.breakdown.transfer_in_s * 2
+        );
+        assert_eq!(out.breakdown.compute, clean.breakdown.compute);
+    }
+
+    #[test]
+    fn stream_stall_stretches_compute() {
+        let batch = timing_batch(8);
+        let clean = device(5).execute_batch(&batch, KernelKind::CustomMtxmq, ExecMode::Timing);
+        let plan = FaultPlan::seeded(1).with_stream_stalls(1.0, 123_456);
+        let mut inj = FaultInjector::new(&plan);
+        let out = device(5).execute_batch_injected(
+            &batch,
+            KernelKind::CustomMtxmq,
+            ExecMode::Timing,
+            SimTime::ZERO,
+            &mut madness_trace::NullRecorder,
+            &mut inj,
+        );
+        assert!(out.all_ok(), "a stall delays, it does not lose tasks");
+        assert_eq!(
+            out.breakdown.compute,
+            clean.breakdown.compute + SimTime::from_nanos(123_456)
+        );
+    }
+
+    #[test]
+    fn device_loss_sticks_until_revive() {
+        let batch = timing_batch(4);
+        let plan = FaultPlan::none().with_device_lost_at(0);
+        let mut inj = FaultInjector::new(&plan);
+        let mut d = device(5);
+        let out = d.execute_batch_injected(
+            &batch,
+            KernelKind::CustomMtxmq,
+            ExecMode::Timing,
+            SimTime::ZERO,
+            &mut madness_trace::NullRecorder,
+            &mut inj,
+        );
+        assert!(d.is_lost());
+        assert_eq!(out.failed.len(), 4);
+        assert!(out.failed.iter().all(|&(_, e)| e == TaskError::DeviceLost));
+        // Still lost on the next batch, even though the plan's loss
+        // instant is spent.
+        let again = d.execute_batch_injected(
+            &batch,
+            KernelKind::CustomMtxmq,
+            ExecMode::Timing,
+            SimTime::from_millis(1),
+            &mut madness_trace::NullRecorder,
+            &mut inj,
+        );
+        assert_eq!(again.failed.len(), 4);
+        d.revive();
+        assert!(!d.is_lost());
+        assert!(d.cache().is_empty(), "driver reset wipes the cache");
+        let ok = d.execute_batch_injected(
+            &batch,
+            KernelKind::CustomMtxmq,
+            ExecMode::Timing,
+            SimTime::from_millis(2),
+            &mut madness_trace::NullRecorder,
+            &mut inj,
+        );
+        assert!(ok.all_ok());
+    }
+
+    #[test]
+    fn queue_depth_is_shared_ref() {
+        // The watchdog observes through `&GpuDevice`.
+        let d = device(2);
+        let us = SimTime::from_micros;
+        d.note_inflight(us(0), us(100));
+        let shared: &GpuDevice = &d;
+        assert_eq!(shared.queue_depth(us(50)), 1);
+        assert_eq!(shared.queue_depth(us(150)), 0);
     }
 
     #[test]

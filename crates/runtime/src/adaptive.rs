@@ -23,6 +23,7 @@
 
 use crate::batcher::TaskKind;
 use crate::dispatch::{measured_split, SplitPlan};
+use madness_faults::GpuGate;
 use madness_trace::DispatchSample;
 use std::collections::HashMap;
 
@@ -44,6 +45,18 @@ pub struct AdaptiveConfig {
     /// A backend left idle by rounding for this many consecutive flushes
     /// is refreshed with one task so its estimate cannot go stale.
     pub refresh_every: u64,
+    /// Queue depth at which the watchdog counts a strike. Deliberately
+    /// above [`AdaptiveConfig::backpressure_depth`]: backpressure is the
+    /// normal regulator, the watchdog only fires when backpressure has
+    /// visibly failed to drain the device (a wedged stream, a dead
+    /// device) — healthy runs must never trip it.
+    pub watchdog_depth: usize,
+    /// Consecutive over-depth observations before the watchdog trips.
+    pub watchdog_strikes: u32,
+    /// A GPU batch is declared timed out when its measured duration
+    /// exceeds this multiple of the cost model's expectation (only once
+    /// the model is steady — an unprobed model predicts nothing).
+    pub timeout_factor: f64,
 }
 
 impl Default for AdaptiveConfig {
@@ -55,6 +68,9 @@ impl Default for AdaptiveConfig {
             backpressure_depth: 2,
             backpressure_shrink: 0.5,
             refresh_every: 16,
+            watchdog_depth: 6,
+            watchdog_strikes: 3,
+            timeout_factor: 4.0,
         }
     }
 }
@@ -78,6 +94,19 @@ impl AdaptiveConfig {
             "backpressure_shrink must be in (0, 1)"
         );
         assert!(self.refresh_every > 0, "refresh_every must be positive");
+        assert!(
+            self.watchdog_depth > self.backpressure_depth,
+            "watchdog_depth must exceed backpressure_depth — backpressure \
+             regulates first, the watchdog only catches its failure"
+        );
+        assert!(
+            self.watchdog_strikes > 0,
+            "watchdog_strikes must be positive"
+        );
+        assert!(
+            self.timeout_factor > 1.0 && self.timeout_factor.is_finite(),
+            "timeout_factor must be finite and > 1"
+        );
     }
 }
 
@@ -89,6 +118,11 @@ pub enum DispatchPhase {
     Probe,
     /// Both backends measured: `k*` comes from the EWMA cost model.
     Steady,
+    /// GPU quarantined ([`GpuGate::Closed`]): everything routes to CPU.
+    Quarantined,
+    /// Quarantine expired ([`GpuGate::Probe`]): one probe task rides to
+    /// the GPU, the rest stays on CPU until the probe succeeds.
+    Readmitting,
 }
 
 /// One flush's split decision plus the model state it came from.
@@ -149,6 +183,8 @@ pub struct ModelSnapshot {
 pub struct AdaptiveDispatcher {
     config: AdaptiveConfig,
     models: HashMap<TaskKind, KindModel>,
+    /// Consecutive over-[`AdaptiveConfig::watchdog_depth`] observations.
+    watchdog_count: u32,
 }
 
 impl AdaptiveDispatcher {
@@ -161,6 +197,7 @@ impl AdaptiveDispatcher {
         AdaptiveDispatcher {
             config,
             models: HashMap::new(),
+            watchdog_count: 0,
         }
     }
 
@@ -191,6 +228,57 @@ impl AdaptiveDispatcher {
         n_tasks: usize,
         gpu_queue_depth: usize,
     ) -> DispatchDecision {
+        self.plan_gated(kind, n_tasks, gpu_queue_depth, GpuGate::Open)
+    }
+
+    /// [`AdaptiveDispatcher::plan`] under a device-health gate: with
+    /// [`GpuGate::Open`] this **is** `plan` (same state updates, same
+    /// decision); [`GpuGate::Closed`] routes the whole flush to the CPU
+    /// without touching the model; [`GpuGate::Probe`] sends exactly one
+    /// task to the GPU so a recovering device proves itself on minimal
+    /// exposure.
+    pub fn plan_gated(
+        &mut self,
+        kind: TaskKind,
+        n_tasks: usize,
+        gpu_queue_depth: usize,
+        gate: GpuGate,
+    ) -> DispatchDecision {
+        match gate {
+            GpuGate::Open => {}
+            GpuGate::Closed => {
+                let model = self.models.entry(kind).or_default();
+                return DispatchDecision {
+                    plan: SplitPlan::all_cpu(n_tasks),
+                    k: 1.0,
+                    m_hat_ns: model.m_hat.unwrap_or(0.0),
+                    n_hat_ns: model.n_hat.unwrap_or(0.0),
+                    phase: DispatchPhase::Quarantined,
+                };
+            }
+            GpuGate::Probe => {
+                let model = self.models.entry(kind).or_default();
+                let plan = if n_tasks == 0 {
+                    SplitPlan::all_cpu(0)
+                } else {
+                    SplitPlan {
+                        cpu_tasks: n_tasks - 1,
+                        gpu_tasks: 1,
+                    }
+                };
+                return DispatchDecision {
+                    plan,
+                    k: if n_tasks == 0 {
+                        1.0
+                    } else {
+                        (n_tasks - 1) as f64 / n_tasks as f64
+                    },
+                    m_hat_ns: model.m_hat.unwrap_or(0.0),
+                    n_hat_ns: model.n_hat.unwrap_or(0.0),
+                    phase: DispatchPhase::Readmitting,
+                };
+            }
+        }
         let cfg = self.config;
         let model = self.models.entry(kind).or_default();
         let m_hat_ns = model.m_hat.unwrap_or(0.0);
@@ -291,6 +379,63 @@ impl AdaptiveDispatcher {
         if gpu_tasks > 0 {
             let sample = (gpu_ns as f64 / gpu_tasks as f64).max(cfg.floor_ns);
             model.n_hat = Some(ewma(model.n_hat, sample, cfg.alpha));
+        }
+    }
+
+    /// Feeds the queue-depth watchdog one observation; returns `true`
+    /// when [`AdaptiveConfig::watchdog_strikes`] consecutive
+    /// observations exceeded [`AdaptiveConfig::watchdog_depth`] — the
+    /// backpressure regulator has failed to drain the device, so the
+    /// caller should treat the device as stalled (quarantine it). The
+    /// strike counter resets on every trip and on every healthy
+    /// observation.
+    pub fn queue_watchdog(&mut self, gpu_queue_depth: usize) -> bool {
+        if gpu_queue_depth > self.config.watchdog_depth {
+            self.watchdog_count += 1;
+            if self.watchdog_count >= self.config.watchdog_strikes {
+                self.watchdog_count = 0;
+                return true;
+            }
+        } else {
+            self.watchdog_count = 0;
+        }
+        false
+    }
+
+    /// Whether a GPU batch of `gpu_tasks` tasks taking `actual_ns` blew
+    /// past the cost model's expectation by more than
+    /// [`AdaptiveConfig::timeout_factor`]. Detection only — the batch
+    /// already ran; callers must **not** re-execute its tasks (they
+    /// completed, late), only penalize the device's health. Answers
+    /// `false` while the model is unprobed: no expectation, no timeout.
+    pub fn batch_timed_out(&self, kind: TaskKind, gpu_tasks: usize, actual_ns: u64) -> bool {
+        if gpu_tasks == 0 {
+            return false;
+        }
+        let Some(n_hat) = self.models.get(&kind).and_then(|m| m.n_hat) else {
+            return false;
+        };
+        let expected = (n_hat * gpu_tasks as f64).max(self.config.floor_ns);
+        actual_ns as f64 > self.config.timeout_factor * expected
+    }
+
+    /// Forgets the GPU side of `kind`'s cost model. Called on
+    /// re-admission after a quarantine: the device behind the estimate
+    /// was reset (cold cache, possibly different clocks), so the next
+    /// flush re-probes it instead of trusting a dead device's history.
+    pub fn reset_gpu_model(&mut self, kind: TaskKind) {
+        if let Some(model) = self.models.get_mut(&kind) {
+            model.n_hat = None;
+            model.gpu_idle = 0;
+        }
+    }
+
+    /// Forgets the GPU side of **every** kind's model (device-wide
+    /// events: the quarantined device serves all kinds).
+    pub fn reset_all_gpu_models(&mut self) {
+        for model in self.models.values_mut() {
+            model.n_hat = None;
+            model.gpu_idle = 0;
         }
     }
 }
@@ -527,6 +672,116 @@ mod tests {
         assert_eq!(dec.phase, DispatchPhase::Probe);
         assert!(d.model(other).is_some_and(|m| !m.steady));
         assert!(d.model(KIND).is_some_and(|m| m.steady));
+    }
+
+    #[test]
+    fn open_gate_is_plain_plan() {
+        let mut a = dispatcher();
+        let mut b = dispatcher();
+        drive(&mut a, 60, 8, 2_500.0, 800.0);
+        drive(&mut b, 60, 8, 2_500.0, 800.0);
+        let pa = a.plan(KIND, 60, 1);
+        let pb = b.plan_gated(KIND, 60, 1, GpuGate::Open);
+        assert_eq!(pa.plan, pb.plan);
+        assert_eq!(pa.k, pb.k);
+        assert_eq!(pa.phase, pb.phase);
+    }
+
+    #[test]
+    fn closed_gate_routes_everything_to_cpu() {
+        let mut d = dispatcher();
+        drive(&mut d, 60, 8, 2_500.0, 800.0);
+        let dec = d.plan_gated(KIND, 60, 0, GpuGate::Closed);
+        assert_eq!(dec.phase, DispatchPhase::Quarantined);
+        assert_eq!(dec.plan, SplitPlan::all_cpu(60));
+        assert_eq!(dec.k, 1.0);
+        // The model survives the quarantine untouched.
+        let after = d.plan(KIND, 60, 0);
+        assert_eq!(after.phase, DispatchPhase::Steady);
+    }
+
+    #[test]
+    fn probe_gate_sends_exactly_one_task() {
+        let mut d = dispatcher();
+        drive(&mut d, 60, 8, 2_500.0, 800.0);
+        let dec = d.plan_gated(KIND, 60, 0, GpuGate::Probe);
+        assert_eq!(dec.phase, DispatchPhase::Readmitting);
+        assert_eq!(dec.plan.gpu_tasks, 1);
+        assert_eq!(dec.plan.total(), 60);
+        let empty = d.plan_gated(KIND, 0, 0, GpuGate::Probe);
+        assert_eq!(empty.plan.total(), 0);
+        let single = d.plan_gated(KIND, 1, 0, GpuGate::Probe);
+        assert_eq!(single.plan.gpu_tasks, 1);
+    }
+
+    #[test]
+    fn watchdog_needs_consecutive_strikes() {
+        let mut d = dispatcher();
+        let deep = d.config().watchdog_depth + 1;
+        assert!(!d.queue_watchdog(deep));
+        assert!(!d.queue_watchdog(deep));
+        assert!(d.queue_watchdog(deep), "third consecutive strike trips");
+        // Counter reset after the trip.
+        assert!(!d.queue_watchdog(deep));
+        // A healthy observation breaks the streak.
+        assert!(!d.queue_watchdog(deep));
+        assert!(!d.queue_watchdog(0));
+        assert!(!d.queue_watchdog(deep));
+        assert!(!d.queue_watchdog(deep));
+    }
+
+    #[test]
+    fn watchdog_never_trips_at_backpressure_depths() {
+        // Depths the backpressure regulator handles must not count as
+        // strikes — otherwise healthy bursty runs would quarantine a
+        // working device.
+        let mut d = dispatcher();
+        let bp = d.config().backpressure_depth + 1;
+        assert!(bp <= d.config().watchdog_depth);
+        for _ in 0..100 {
+            assert!(!d.queue_watchdog(bp));
+        }
+    }
+
+    #[test]
+    fn timeout_needs_a_steady_model() {
+        let mut d = dispatcher();
+        assert!(
+            !d.batch_timed_out(KIND, 10, u64::MAX),
+            "no model, no expectation, no timeout"
+        );
+        drive(&mut d, 60, 8, 2_500.0, 800.0);
+        // ~800 ns/task × 10 tasks: 8 µs expected, factor 4 ⇒ 32 µs line.
+        assert!(!d.batch_timed_out(KIND, 10, 8_000));
+        assert!(!d.batch_timed_out(KIND, 10, 30_000));
+        assert!(d.batch_timed_out(KIND, 10, 60_000));
+        assert!(
+            !d.batch_timed_out(KIND, 0, u64::MAX),
+            "no GPU tasks, no timeout"
+        );
+    }
+
+    #[test]
+    fn reset_gpu_model_forces_reprobe() {
+        let mut d = dispatcher();
+        drive(&mut d, 60, 8, 2_500.0, 800.0);
+        assert!(d.model(KIND).is_some_and(|m| m.steady));
+        d.reset_gpu_model(KIND);
+        let m = d.model(KIND).expect("model exists");
+        assert!(!m.steady);
+        assert!(m.m_hat_ns > 0.0, "CPU side survives the reset");
+        assert_eq!(m.n_hat_ns, 0.0);
+        assert_eq!(d.plan(KIND, 60, 0).phase, DispatchPhase::Probe);
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog_depth must exceed backpressure_depth")]
+    fn watchdog_below_backpressure_rejected() {
+        AdaptiveDispatcher::new(AdaptiveConfig {
+            watchdog_depth: 1,
+            backpressure_depth: 2,
+            ..AdaptiveConfig::default()
+        });
     }
 
     #[test]

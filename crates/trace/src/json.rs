@@ -18,7 +18,9 @@
 //! accepts general JSON objects/arrays/strings/numbers but only the
 //! fields above are interpreted.
 
-use crate::{DispatchSample, MemRecorder, Record, Recorder, Stage};
+use crate::{
+    DispatchSample, FaultAction, FaultEvent, FaultKind, MemRecorder, Record, Recorder, Stage,
+};
 use std::fmt::Write as _;
 
 /// Why a timeline failed to parse.
@@ -65,6 +67,16 @@ pub(crate) fn export(rec: &MemRecorder) -> String {
                     e.stage.name(),
                     e.at_ns,
                     e.value
+                );
+            }
+            Record::Fault(f) => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":\"fault\",\"kind\":\"{}\",\"action\":\"{}\",\"at_ns\":{},\"tasks\":{}}}",
+                    f.kind.name(),
+                    f.action.name(),
+                    f.at_ns,
+                    f.tasks
                 );
             }
         }
@@ -179,27 +191,51 @@ fn replay_record(r: &Value, rec: &mut MemRecorder) -> Result<(), JsonError> {
         return Err(bad("journal entry must be an object"));
     };
     let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
-    let stage = match get("stage") {
-        Some(Value::String(s)) => {
-            Stage::from_name(s).ok_or_else(|| bad(&format!("unknown stage '{s}'")))?
-        }
-        _ => return Err(bad("record missing stage")),
-    };
     let num = |name: &str| -> Result<u64, JsonError> {
         get(name)
             .and_then(Value::as_u64)
             .ok_or_else(|| bad(&format!("record missing integer '{name}'")))
     };
+    let stage = || match get("stage") {
+        Some(Value::String(s)) => {
+            Stage::from_name(s).ok_or_else(|| bad(&format!("unknown stage '{s}'")))
+        }
+        _ => Err(bad("record missing stage")),
+    };
     match get("t") {
         Some(Value::String(t)) if t == "span" => {
-            rec.span(stage, num("start_ns")?, num("end_ns")?, num("lane")? as u32);
+            rec.span(
+                stage()?,
+                num("start_ns")?,
+                num("end_ns")?,
+                num("lane")? as u32,
+            );
             Ok(())
         }
         Some(Value::String(t)) if t == "event" => {
-            rec.event(stage, num("at_ns")?, num("value")?);
+            rec.event(stage()?, num("at_ns")?, num("value")?);
             Ok(())
         }
-        _ => Err(bad("record type must be \"span\" or \"event\"")),
+        Some(Value::String(t)) if t == "fault" => {
+            let kind = match get("kind") {
+                Some(Value::String(s)) => FaultKind::from_name(s)
+                    .ok_or_else(|| bad(&format!("unknown fault kind '{s}'")))?,
+                _ => return Err(bad("fault record missing kind")),
+            };
+            let action = match get("action") {
+                Some(Value::String(s)) => FaultAction::from_name(s)
+                    .ok_or_else(|| bad(&format!("unknown fault action '{s}'")))?,
+                _ => return Err(bad("fault record missing action")),
+            };
+            rec.fault(FaultEvent {
+                kind,
+                action,
+                at_ns: num("at_ns")?,
+                tasks: num("tasks")?,
+            });
+            Ok(())
+        }
+        _ => Err(bad("record type must be \"span\", \"event\" or \"fault\"")),
     }
 }
 
@@ -410,6 +446,18 @@ mod tests {
         rec.span(Stage::KernelLaunch, 1_000, 4_000, 3);
         rec.event(Stage::Batch, 1_000, 60);
         rec.event(Stage::CacheMiss, 1_200, 4_096);
+        rec.fault(FaultEvent {
+            kind: FaultKind::KernelLaunchFail,
+            action: FaultAction::Injected,
+            at_ns: 2_000,
+            tasks: 4,
+        });
+        rec.fault(FaultEvent {
+            kind: FaultKind::DeviceLost,
+            action: FaultAction::Quarantined,
+            at_ns: 3_000,
+            tasks: 56,
+        });
         rec.add("cache_miss", 1);
         rec.add("cache_hit", 9);
         rec.gauge_hwm("pinned_pool_hwm_bytes", 1 << 20);
@@ -465,6 +513,8 @@ mod tests {
             "[1,2,3]",
             "{\"journal\":[{\"t\":\"span\"}]}",
             "{\"journal\":[{\"t\":\"span\",\"stage\":\"NotAStage\",\"start_ns\":0,\"end_ns\":1,\"lane\":0}]}",
+            "{\"journal\":[{\"t\":\"fault\",\"kind\":\"NotAFault\",\"action\":\"Injected\",\"at_ns\":0,\"tasks\":1}]}",
+            "{\"journal\":[{\"t\":\"fault\",\"kind\":\"DeviceLost\",\"at_ns\":0,\"tasks\":1}]}",
             "{\"counters\":{\"x\":-3}}",
             "{} trailing",
         ] {

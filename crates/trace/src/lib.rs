@@ -181,6 +181,122 @@ pub enum Record {
     Span(Span),
     /// A point record.
     Event(Event),
+    /// A fault-path record (injection, detection, recovery).
+    Fault(FaultEvent),
+}
+
+/// The fault taxonomy shared by the injector (`madness-faults`) and the
+/// journal. It lives here — not in `madness-faults` — so the journal can
+/// record fault events without a dependency cycle; `madness-faults`
+/// re-exports it as the canonical vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// A kernel failed to launch (`cudaErrorLaunchFailure`-class).
+    KernelLaunchFail,
+    /// A host↔device DMA exceeded its deadline and was re-issued.
+    TransferTimeout,
+    /// A CUDA stream stopped draining for a while (transient stall).
+    StreamStall,
+    /// The device fell off the bus (`cudaErrorDeviceLost`-class).
+    DeviceLost,
+    /// A whole node runs slower than its peers by a multiplier.
+    SlowNode,
+    /// A network message was dropped and had to be retransmitted.
+    DroppedMessage,
+}
+
+impl FaultKind {
+    /// Every kind, in declaration order.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::KernelLaunchFail,
+        FaultKind::TransferTimeout,
+        FaultKind::StreamStall,
+        FaultKind::DeviceLost,
+        FaultKind::SlowNode,
+        FaultKind::DroppedMessage,
+    ];
+
+    /// Stable name used in the JSON journal and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::KernelLaunchFail => "KernelLaunchFail",
+            FaultKind::TransferTimeout => "TransferTimeout",
+            FaultKind::StreamStall => "StreamStall",
+            FaultKind::DeviceLost => "DeviceLost",
+            FaultKind::SlowNode => "SlowNode",
+            FaultKind::DroppedMessage => "DroppedMessage",
+        }
+    }
+
+    /// Inverse of [`FaultKind::name`].
+    pub fn from_name(name: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// What the fault-handling machinery did at a [`FaultEvent`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultAction {
+    /// The fault fired (injected by the plan).
+    Injected,
+    /// Detection tripped (batch timeout or queue-depth watchdog) without
+    /// a hard error — the affected tasks still completed.
+    Detected,
+    /// The failed share was re-submitted to the device after backoff.
+    Retried,
+    /// The failed share was re-routed to the CPU workers.
+    CpuFallback,
+    /// The device was taken out of rotation.
+    Quarantined,
+    /// A probe batch succeeded and the device rejoined the rotation.
+    Readmitted,
+    /// A dropped message was retransmitted.
+    Resent,
+}
+
+impl FaultAction {
+    /// Every action, in declaration order.
+    pub const ALL: [FaultAction; 7] = [
+        FaultAction::Injected,
+        FaultAction::Detected,
+        FaultAction::Retried,
+        FaultAction::CpuFallback,
+        FaultAction::Quarantined,
+        FaultAction::Readmitted,
+        FaultAction::Resent,
+    ];
+
+    /// Stable name used in the JSON journal and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultAction::Injected => "Injected",
+            FaultAction::Detected => "Detected",
+            FaultAction::Retried => "Retried",
+            FaultAction::CpuFallback => "CpuFallback",
+            FaultAction::Quarantined => "Quarantined",
+            FaultAction::Readmitted => "Readmitted",
+            FaultAction::Resent => "Resent",
+        }
+    }
+
+    /// Inverse of [`FaultAction::name`].
+    pub fn from_name(name: &str) -> Option<FaultAction> {
+        FaultAction::ALL.into_iter().find(|a| a.name() == name)
+    }
+}
+
+/// One fault-path occurrence: a fault firing, its detection, or a
+/// recovery step, with the simulated instant and affected task count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Which fault class.
+    pub kind: FaultKind,
+    /// What happened / what recovery did.
+    pub action: FaultAction,
+    /// Simulated timestamp, nanoseconds.
+    pub at_ns: u64,
+    /// Tasks (or messages, for network faults) affected.
+    pub tasks: u64,
 }
 
 /// One flush decision of the adaptive feedback dispatcher: the chosen CPU
@@ -320,6 +436,9 @@ pub trait Recorder {
 
     /// Observes one adaptive-dispatcher flush decision.
     fn observe_dispatch(&mut self, sample: DispatchSample);
+
+    /// Journals a fault-path record.
+    fn fault(&mut self, ev: FaultEvent);
 }
 
 /// The disabled recorder: every method is a no-op and `ENABLED = false`.
@@ -341,6 +460,8 @@ impl Recorder for NullRecorder {
     fn observe_split(&mut self, _: f64) {}
     #[inline(always)]
     fn observe_dispatch(&mut self, _: DispatchSample) {}
+    #[inline(always)]
+    fn fault(&mut self, _: FaultEvent) {}
 }
 
 /// In-memory recorder: journal in emission order + metrics registry.
@@ -370,7 +491,7 @@ impl MemRecorder {
     pub fn spans(&self) -> impl Iterator<Item = &Span> {
         self.journal.iter().filter_map(|r| match r {
             Record::Span(s) => Some(s),
-            Record::Event(_) => None,
+            _ => None,
         })
     }
 
@@ -378,7 +499,15 @@ impl MemRecorder {
     pub fn events(&self) -> impl Iterator<Item = &Event> {
         self.journal.iter().filter_map(|r| match r {
             Record::Event(e) => Some(e),
-            Record::Span(_) => None,
+            _ => None,
+        })
+    }
+
+    /// All fault-path records, in emission order.
+    pub fn faults(&self) -> impl Iterator<Item = &FaultEvent> {
+        self.journal.iter().filter_map(|r| match r {
+            Record::Fault(f) => Some(f),
+            _ => None,
         })
     }
 
@@ -433,6 +562,10 @@ impl Recorder for MemRecorder {
 
     fn observe_dispatch(&mut self, sample: DispatchSample) {
         self.metrics.observe_dispatch(sample);
+    }
+
+    fn fault(&mut self, ev: FaultEvent) {
+        self.journal.push(Record::Fault(ev));
     }
 }
 
@@ -528,5 +661,51 @@ mod tests {
         n.span(Stage::Transfer, 0, 5, 0);
         n.add("x", 1);
         n.observe_split(0.5);
+        n.fault(FaultEvent {
+            kind: FaultKind::DeviceLost,
+            action: FaultAction::Quarantined,
+            at_ns: 7,
+            tasks: 60,
+        });
+    }
+
+    #[test]
+    fn fault_names_round_trip() {
+        for k in FaultKind::ALL {
+            assert_eq!(FaultKind::from_name(k.name()), Some(k));
+        }
+        for a in FaultAction::ALL {
+            assert_eq!(FaultAction::from_name(a.name()), Some(a));
+        }
+        assert_eq!(FaultKind::from_name("NotAFault"), None);
+        assert_eq!(FaultAction::from_name("NotAnAction"), None);
+    }
+
+    #[test]
+    fn fault_records_interleave_with_spans_in_order() {
+        let mut rec = MemRecorder::new();
+        rec.span(Stage::KernelLaunch, 0, 10, 0);
+        rec.fault(FaultEvent {
+            kind: FaultKind::KernelLaunchFail,
+            action: FaultAction::Injected,
+            at_ns: 10,
+            tasks: 3,
+        });
+        rec.fault(FaultEvent {
+            kind: FaultKind::KernelLaunchFail,
+            action: FaultAction::CpuFallback,
+            at_ns: 12,
+            tasks: 3,
+        });
+        rec.span(Stage::CpuCompute, 12, 40, 0);
+        assert_eq!(rec.journal().len(), 4);
+        assert_eq!(rec.spans().count(), 2);
+        assert_eq!(rec.faults().count(), 2);
+        let fs: Vec<_> = rec.faults().collect();
+        assert_eq!(fs[0].action, FaultAction::Injected);
+        assert_eq!(fs[1].action, FaultAction::CpuFallback);
+        // Fault records never leak into the stage attribution.
+        let bd = rec.breakdown(40);
+        assert_eq!(bd.attributed_total_ns(), 40);
     }
 }
