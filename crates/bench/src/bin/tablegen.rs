@@ -6,7 +6,7 @@
 //! ```
 
 use madness_bench::{
-    ablation, dispatch_report, faults_report, figures, perf, tables, trace_report,
+    ablation, balance_report, dispatch_report, faults_report, figures, perf, tables, trace_report,
 };
 
 fn hr(title: &str) {
@@ -247,6 +247,24 @@ fn faults() {
     print!("{}", faults_report::render(&r));
 }
 
+fn balance(write_json: bool) {
+    hr(
+        "Balance — dynamic load balancing, CostPartition-lumpy 16 nodes\n\
+         depth-1 cost partition leaves half the cluster idle; steal and\n\
+         epoch-repartition modes migrate whole batches over the shared\n\
+         torus links; even control pins the no-regression contract",
+    );
+    let r = balance_report::balance_table();
+    print!("{}", balance_report::render(&r));
+    if write_json {
+        let path = std::path::Path::new("BENCH_cluster.json");
+        match std::fs::write(path, balance_report::to_json(&r)) {
+            Ok(()) => println!("\ncluster trajectory point written to {}", path.display()),
+            Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+        }
+    }
+}
+
 const EXPERIMENTS: &[&str] = &[
     "table1",
     "table2",
@@ -262,11 +280,13 @@ const EXPERIMENTS: &[&str] = &[
     "bench",
     "dispatch",
     "faults",
+    "balance",
 ];
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    // `--json` currently only affects `bench` (writes BENCH_apply.json).
+    // `--json` affects `bench` (writes BENCH_apply.json) and `balance`
+    // (writes BENCH_cluster.json).
     let json = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
     if let Some(bad) = args
@@ -332,5 +352,8 @@ fn main() {
     }
     if want("faults") {
         faults();
+    }
+    if want("balance") {
+        balance(json);
     }
 }

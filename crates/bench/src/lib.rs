@@ -22,11 +22,13 @@
 //! | Bench      | [`perf::bench_apply`] |
 //! | Dispatch   | [`dispatch_report::dispatch_table1`] |
 //! | Faults     | [`faults_report::faults_table1`] |
+//! | Balance    | [`balance_report::balance_table`] |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod balance_report;
 pub mod dispatch_report;
 pub mod faults_report;
 pub mod figures;

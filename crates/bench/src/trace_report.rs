@@ -102,9 +102,10 @@ pub fn render(run: &TracedRun) -> String {
     let m = run.recorder.metrics();
     let _ = writeln!(
         out,
-        "  batches: {} by size, {} by timer; tasks: {} gpu / {} cpu",
+        "  batches: {} by size, {} by timer, {} by drain; tasks: {} gpu / {} cpu",
         m.counter("batch_flush_size"),
         m.counter("batch_flush_timer"),
+        m.counter("batch_flush_drain"),
         m.counter("tasks_gpu"),
         m.counter("tasks_cpu"),
     );

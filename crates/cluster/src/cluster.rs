@@ -11,7 +11,7 @@ use madness_trace::{Recorder, Stage};
 use rayon::prelude::*;
 
 /// Aggregate result of a cluster run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ClusterReport {
     /// Application time: slowest node (static load balancing — "MADNESS
     /// uses static load balancing", §III-A), including any unoverlapped
@@ -61,6 +61,11 @@ impl ClusterSim {
     /// The node simulator.
     pub fn node(&self) -> &NodeSim {
         &self.node
+    }
+
+    /// The interconnect model.
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
     }
 
     /// Runs the population under `mode` on every node; the application

@@ -80,6 +80,12 @@ impl<E> Des<E> {
         Some((t, e))
     }
 
+    /// Timestamp of the next event without popping it (the clock does
+    /// not advance).
+    pub fn peek(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
     /// Pending event count.
     pub fn len(&self) -> usize {
         self.heap.len()

@@ -3,7 +3,8 @@
 //! A discrete-event simulator of the Titan partition the paper ran on:
 //! `N` compute nodes, each a 16-core AMD Interlagos CPU plus one Tesla
 //! M2090 GPU, executing MADNESS Apply workloads under a *process map*
-//! with static load balancing.
+//! — statically load balanced like the paper, or dynamically rebalanced
+//! by the [`balance`] layer.
 //!
 //! Layers:
 //!
@@ -17,11 +18,17 @@
 //!   preprocess → per-kind batching on a timer → dispatcher split →
 //!   CPU threads ∥ GPU streams → postprocess, in CPU-only, GPU-only or
 //!   hybrid mode;
-//! * [`network`] — result-accumulation traffic (latency/bandwidth; the
-//!   paper found Titan's network is not a bottleneck — the model lets us
-//!   *check* that, not assume it);
+//! * [`network`] — result-accumulation and migration traffic:
+//!   per-message latency, pipelined injection, and a contended
+//!   [`network::Interconnect`] of shared torus links (the paper found
+//!   Titan's network is not a bottleneck — the model lets us *check*
+//!   that, not assume it);
 //! * [`cluster`] — partition the tree by a process map, simulate every
-//!   node, and take the makespan.
+//!   node, and take the makespan;
+//! * [`balance`] — cluster-wide dynamic load balancing (DESIGN.md §10):
+//!   drained nodes steal whole batches under a profit guard, or sync
+//!   epochs repartition from measured rates, paying migration cost
+//!   through the interconnect.
 //!
 //! All times are simulated ([`madness_gpusim::SimTime`]); the cluster
 //! layer is timing-only by design (full-fidelity numerics live in
@@ -30,14 +37,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod balance;
 pub mod cluster;
 pub mod des;
 pub mod network;
 pub mod node;
 pub mod workload;
 
+pub use balance::{BalanceMode, BalanceReport};
 pub use cluster::{ClusterReport, ClusterSim};
 pub use des::{Des, FifoResource};
-pub use network::NetworkModel;
-pub use node::{FaultSummary, NodeParams, NodeReport, NodeSim, ResourceMode};
+pub use network::{Interconnect, NetworkModel};
+pub use node::{FaultSummary, NodeParams, NodeRate, NodeReport, NodeSim, ResourceMode};
 pub use workload::{TaskPopulation, WorkloadSpec};

@@ -187,6 +187,18 @@ impl FaultSummary {
     }
 }
 
+/// Marginal-rate summary of one node's pipeline, extracted by
+/// [`NodeSim::calibrate`] for the cluster balance DES
+/// ([`crate::balance`]): a node executing `n` tasks finishes at about
+/// `startup + n × per_task`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeRate {
+    /// Fixed pipeline fill/drain overhead.
+    pub startup: SimTime,
+    /// Marginal steady-state time per task.
+    pub per_task: SimTime,
+}
+
 /// Everything the fault-aware pipeline threads through one run.
 struct FaultCtx {
     inj: FaultInjector,
@@ -300,6 +312,30 @@ impl NodeSim {
         let mut ctx = FaultCtx::new(plan, policy);
         let report = self.simulate_inner(spec, n_tasks, mode, rec, &mut ctx);
         (report, ctx.summary)
+    }
+
+    /// Calibrates the node's marginal task rate under `mode` and `plan`
+    /// by simulating two populations (`c` and `2c` tasks, with
+    /// `c = 20 × max_batch`) and taking the slope — batch quantization
+    /// and pipeline fill cancel out of the difference, leaving the
+    /// steady-state cost the cluster balance DES charges per migrated
+    /// task. Deterministic: the fault injector is a stateless hash, so
+    /// repeated calibrations agree bit-for-bit.
+    pub fn calibrate(
+        &self,
+        spec: &WorkloadSpec,
+        mode: ResourceMode,
+        plan: &FaultPlan,
+        policy: RecoveryPolicy,
+    ) -> NodeRate {
+        let c = (20 * self.params.batch.max_batch as u64).max(1);
+        let (r1, _) = self.simulate_faulty(spec, c, mode, plan, policy, &mut NullRecorder);
+        let (r2, _) = self.simulate_faulty(spec, 2 * c, mode, plan, policy, &mut NullRecorder);
+        // A degenerate zero rate would let the DES hand out work for
+        // free; clamp to one tick per task.
+        let per_task = (r2.total.saturating_sub(r1.total) / c).max(SimTime::from_nanos(1));
+        let startup = r1.total.saturating_sub(per_task * c);
+        NodeRate { startup, per_task }
     }
 
     fn simulate_inner<R: Recorder>(
@@ -514,14 +550,14 @@ impl NodeSim {
             }
             if R::ENABLED {
                 // The batch flushes when its last input is preprocessed —
-                // by the size trigger at a full batch, by the timer for
-                // the end-of-run remainder.
+                // by the size trigger at a full batch; the end-of-run
+                // remainder is a shutdown drain, not a timer expiry.
                 rec.event(Stage::Batch, release.as_nanos(), b);
                 rec.add(
                     if b == batch_cap {
                         "batch_flush_size"
                     } else {
-                        "batch_flush_timer"
+                        "batch_flush_drain"
                     },
                     1,
                 );

@@ -1,0 +1,284 @@
+//! Balance proptests (ISSUE 5): the dynamic load balancer's contracts,
+//! over arbitrary populations, fault schedules, and seeds.
+//!
+//! 1. **Never worse** — `BalanceMode::Steal` never yields a worse
+//!    makespan than `Static` under the same calibrated cost model, for
+//!    *any* population shape: the profit guard only commits a steal when
+//!    the thief's estimated finish (transfer included) stays at or below
+//!    the victim's, so the maximum estimate can only decrease.
+//! 2. **Strictly better when lumpy** — on a 4× lumpy partition the
+//!    steal path must improve, not just tie.
+//! 3. **Conservation under migration + faults** — whatever moves,
+//!    every task executes exactly once, cluster-wide.
+//! 4. **Deterministic replay** — a fixed seed reproduces the report and
+//!    the trace JSON bit-for-bit.
+//!
+//! Plus the ISSUE 5 acceptance pin: a `CostPartition`-lumpy 16-node
+//! population (imbalance ≥ 2.0) must improve ≥ 25 % with cluster
+//! balance above 0.9 and journaled migration traffic.
+
+use madness_cluster::balance::{BalanceMode, BalanceReport};
+use madness_cluster::cluster::{ClusterReport, ClusterSim};
+use madness_cluster::network::NetworkModel;
+use madness_cluster::node::{NodeParams, NodeSim, ResourceMode};
+use madness_cluster::workload::{TaskPopulation, WorkloadSpec};
+use madness_faults::{FaultPlan, RecoveryPolicy};
+use madness_gpusim::KernelKind;
+use madness_trace::{MemRecorder, NullRecorder};
+use proptest::prelude::*;
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        d: 3,
+        k: 10,
+        rank: 100,
+        rr_mean_rank: None,
+    }
+}
+
+fn sim() -> ClusterSim {
+    ClusterSim::new(NodeSim::new(NodeParams::default()), NetworkModel::default())
+}
+
+fn mode(idx: usize) -> ResourceMode {
+    match idx % 2 {
+        0 => ResourceMode::CpuOnly { threads: 16 },
+        _ => ResourceMode::Hybrid {
+            compute_threads: 10,
+            data_threads: 5,
+            streams: 5,
+            kernel: KernelKind::CustomMtxmq,
+        },
+    }
+}
+
+fn steal(min_batch: u64, max_inflight: usize) -> BalanceMode {
+    BalanceMode::Steal {
+        min_batch,
+        max_inflight,
+    }
+}
+
+/// Arbitrary population: 2–8 nodes, each holding 0–6,000 tasks.
+fn population_strategy() -> impl Strategy<Value = TaskPopulation> {
+    proptest::collection::vec(0u64..6_000, 2..8).prop_map(|per_node| TaskPopulation {
+        spec: spec(),
+        per_node,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property 1: for any population shape, mode, and steal tuning,
+    /// `Steal` never loses to `Static`.
+    #[test]
+    fn steal_never_worse_than_static(
+        pop in population_strategy(),
+        mode_idx in 0usize..2,
+        min_batch in prop_oneof![Just(0u64), Just(60), Just(600)],
+        max_inflight in 1usize..16,
+    ) {
+        let s = sim();
+        let m = mode(mode_idx);
+        let (st, _) = s.run_balanced(&pop, m, BalanceMode::Static, &mut NullRecorder);
+        let (dy, _) = s.run_balanced(&pop, m, steal(min_batch, max_inflight), &mut NullRecorder);
+        prop_assert!(
+            dy.total <= st.total,
+            "steal {} regressed below static {} on {:?}",
+            dy.total,
+            st.total,
+            pop.per_node
+        );
+        prop_assert_eq!(dy.total_tasks, pop.total());
+    }
+
+    /// Property 2: a 4x lumpy partition (one node holds 4x an even
+    /// share) must get strictly better, not just tie.
+    #[test]
+    fn steal_strictly_better_on_4x_lumpy(
+        base in 1_200u64..5_000,
+        n_nodes in 4usize..9,
+        mode_idx in 0usize..2,
+    ) {
+        let mut per_node = vec![base; n_nodes];
+        per_node[0] = 4 * base;
+        let pop = TaskPopulation { spec: spec(), per_node };
+        let s = sim();
+        let m = mode(mode_idx);
+        let (st, _) = s.run_balanced(&pop, m, BalanceMode::Static, &mut NullRecorder);
+        let (dy, bal) = s.run_balanced(&pop, m, steal(60, 8), &mut NullRecorder);
+        prop_assert!(bal.steals > 0, "nobody stole from the hot node");
+        prop_assert!(
+            dy.total < st.total,
+            "lumpy partition must strictly improve: steal {} vs static {}",
+            dy.total,
+            st.total
+        );
+    }
+
+    /// Property 3: migration + arbitrary fault schedules conserve every
+    /// task — cluster-wide, nothing is lost or run twice.
+    #[test]
+    fn migration_with_faults_conserves_tasks(
+        pop in population_strategy(),
+        seed in any::<u64>(),
+        launch in 0.0f64..0.5,
+        straggler in 1.0f64..3.0,
+        drop in 0.0f64..0.4,
+        mode_idx in 0usize..2,
+    ) {
+        let s = sim();
+        let mut plans = vec![FaultPlan::none(); pop.per_node.len()];
+        plans[0] = FaultPlan::seeded(seed)
+            .with_launch_fail_rate(launch)
+            .with_straggler(straggler)
+            .with_message_drop_rate(drop);
+        let (report, _, sums) = s.run_balanced_with_faults(
+            &pop,
+            mode(mode_idx),
+            steal(60, 8),
+            &plans,
+            RecoveryPolicy::default(),
+            &mut NullRecorder,
+        );
+        let executed: u64 = sums.iter().map(|f| f.completed_cpu + f.completed_gpu + f.lost).sum();
+        prop_assert_eq!(executed, pop.total());
+        let lost: u64 = sums.iter().map(|f| f.lost).sum();
+        prop_assert_eq!(lost, 0);
+        prop_assert_eq!(report.total_tasks, pop.total());
+    }
+
+    /// Property 4: fixed seeds replay bit-identically — report, balance
+    /// accounting, and the serialized trace journal.
+    #[test]
+    fn fixed_seed_replays_bit_identically(
+        per_node in proptest::collection::vec(0u64..2_000, 2..5),
+        seed in any::<u64>(),
+        mode_idx in 0usize..2,
+    ) {
+        let pop = TaskPopulation { spec: spec(), per_node };
+        let s = sim();
+        let plans = vec![
+            FaultPlan::seeded(seed).with_launch_fail_rate(0.2).with_straggler(1.5);
+            pop.per_node.len()
+        ];
+        let run = || -> (ClusterReport, BalanceReport, String) {
+            let mut rec = MemRecorder::new();
+            let (r, b, _) = s.run_balanced_with_faults(
+                &pop,
+                mode(mode_idx),
+                steal(60, 4),
+                &plans,
+                RecoveryPolicy::default(),
+                &mut rec,
+            );
+            (r, b, rec.to_json())
+        };
+        let (r1, b1, j1) = run();
+        let (r2, b2, j2) = run();
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(b1, b2);
+        prop_assert_eq!(j1, j2);
+    }
+}
+
+/// The ISSUE 5 acceptance pin: a `CostPartition` process map at depth 1
+/// on 16 nodes leaves half the cluster idle (at most 2^d = 8 subtree
+/// roots carry work), producing the lumpy population the steal path
+/// exists for.
+#[test]
+fn acceptance_cost_partition_lumpy_16_nodes() {
+    use madness_mra::procmap::CostPartitionMap;
+    use madness_mra::synth::{synthesize_tree, SynthTreeParams};
+
+    let tree = synthesize_tree(
+        3,
+        10,
+        &SynthTreeParams {
+            target_leaves: 4000,
+            centers: vec![vec![0.3, 0.4, 0.5]],
+            width: 0.12,
+            level_decay: 0.5,
+            seed: 11,
+            with_coeffs: false,
+        },
+    );
+    let n = 16;
+    let map = CostPartitionMap::build(&tree, 1, n);
+    let pop = TaskPopulation::from_tree(&tree, spec(), &map, n, 27);
+    assert!(
+        pop.imbalance() >= 2.0,
+        "population not lumpy enough: {:.2}",
+        pop.imbalance()
+    );
+
+    let s = sim();
+    let m = ResourceMode::Hybrid {
+        compute_threads: 10,
+        data_threads: 5,
+        streams: 5,
+        kernel: KernelKind::CustomMtxmq,
+    };
+    let mut rec = MemRecorder::new();
+    let (st, _) = s.run_balanced(&pop, m, BalanceMode::Static, &mut NullRecorder);
+    let (dy, bal) = s.run_balanced(&pop, m, steal(60, 8), &mut rec);
+
+    // ≥ 25 % makespan improvement over static.
+    let improvement = 1.0 - dy.total.as_secs_f64() / st.total.as_secs_f64();
+    assert!(
+        improvement >= 0.25,
+        "improvement {:.1}% below the 25% bar (steal {} vs static {})",
+        100.0 * improvement,
+        dy.total,
+        st.total
+    );
+    // Cluster balance above 0.9.
+    assert!(
+        dy.balance() > 0.9,
+        "balance {:.3} not above 0.9",
+        dy.balance()
+    );
+    // Migration traffic journaled: every steal is a BalanceEvent, and
+    // the journal round-trips through JSON.
+    assert!(bal.steals > 0);
+    assert_eq!(rec.balance_events().count() as u64, bal.steals);
+    assert_eq!(
+        rec.balance_events().map(|e| e.tasks).sum::<u64>(),
+        bal.migrated_tasks
+    );
+    assert_eq!(MemRecorder::from_json(&rec.to_json()).unwrap(), rec);
+}
+
+/// The fault-free identity required by the acceptance criteria: `Steal`
+/// with an empty plan list is bit-identical to the fault-aware entry
+/// point with no faults — report, balance accounting, and trace JSON.
+#[test]
+fn acceptance_fault_free_identity() {
+    let s = sim();
+    let pop = TaskPopulation {
+        spec: spec(),
+        per_node: vec![9_000, 0, 2_400, 300],
+    };
+    let m = ResourceMode::Hybrid {
+        compute_threads: 10,
+        data_threads: 5,
+        streams: 5,
+        kernel: KernelKind::CustomMtxmq,
+    };
+    let mut rec_a = MemRecorder::new();
+    let mut rec_b = MemRecorder::new();
+    let (ra, ba) = s.run_balanced(&pop, m, steal(60, 8), &mut rec_a);
+    let (rb, bb, sums) = s.run_balanced_with_faults(
+        &pop,
+        m,
+        steal(60, 8),
+        &[],
+        RecoveryPolicy::default(),
+        &mut rec_b,
+    );
+    assert_eq!(ra, rb);
+    assert_eq!(ba, bb);
+    assert_eq!(rec_a.to_json(), rec_b.to_json());
+    assert!(sums.iter().all(|f| f.lost == 0));
+}

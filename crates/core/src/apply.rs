@@ -403,7 +403,7 @@ pub fn apply_batched_recorded<R: Recorder>(
             );
         }
     }
-    for (flushed_kind, rest) in batcher.flush_all() {
+    for (flushed_kind, rest) in batcher.drain() {
         run_batch(
             flushed_kind,
             rest,

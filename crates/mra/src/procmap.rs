@@ -113,18 +113,15 @@ impl CostPartitionMap {
             }
             *weights.entry(anc).or_insert(0) += 1;
         }
-        // LPT greedy: heaviest subtree to the least-loaded node.
+        // LPT greedy: heaviest subtree to the least-loaded node. Nodes
+        // are homogeneous here (no head start, unit speed); the cluster
+        // balancer reuses the same helper with measured per-node rates.
         let mut roots: Vec<(Key, u64)> = weights.into_iter().collect();
         roots.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        let mut load = vec![0u64; n_nodes];
+        let item_weights: Vec<u64> = roots.iter().map(|(_, w)| *w).collect();
+        let assignment = lpt_assign(&item_weights, &vec![0.0; n_nodes], &vec![1.0; n_nodes]);
         let mut owners = crate::hashing::FxHashMap::default();
-        for (root, w) in roots {
-            let (idx, _) = load
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| **l)
-                .expect("n_nodes > 0");
-            load[idx] += w;
+        for ((root, _), idx) in roots.into_iter().zip(assignment) {
             owners.insert(root, idx);
         }
         CostPartitionMap {
@@ -133,6 +130,47 @@ impl CostPartitionMap {
             owners,
         }
     }
+}
+
+/// Speed-aware LPT (longest-processing-time) assignment: places each
+/// weighted item, in the order given (callers sort heaviest-first), on
+/// the node whose estimated finish
+/// `base_secs[node] + (load + weight) × per_unit_secs[node]`
+/// is smallest, ties to the lowest node index. Returns one node index
+/// per item.
+///
+/// With zero bases and unit speeds this is the classic homogeneous LPT
+/// used by [`CostPartitionMap::build`]; the cluster balancer's
+/// repartition epochs call it with each node's *measured* EWMA cost per
+/// task and its in-progress backlog as the base, so slow or busy nodes
+/// receive proportionally less work.
+///
+/// # Panics
+/// Panics if the node arrays are empty or of different lengths.
+pub fn lpt_assign(weights: &[u64], base_secs: &[f64], per_unit_secs: &[f64]) -> Vec<usize> {
+    assert!(!base_secs.is_empty(), "need at least one node");
+    assert_eq!(
+        base_secs.len(),
+        per_unit_secs.len(),
+        "one speed per node required"
+    );
+    let n = base_secs.len();
+    let mut load = vec![0u64; n];
+    let mut out = Vec::with_capacity(weights.len());
+    for &w in weights {
+        let mut best = 0usize;
+        let mut best_cost = f64::INFINITY;
+        for (i, &l) in load.iter().enumerate() {
+            let cost = base_secs[i] + (l + w) as f64 * per_unit_secs[i];
+            if cost < best_cost {
+                best_cost = cost;
+                best = i;
+            }
+        }
+        load[best] += w;
+        out.push(best);
+    }
+    out
 }
 
 impl ProcessMap for CostPartitionMap {
@@ -305,6 +343,41 @@ mod tests {
         let tree = crate::tree::FunctionTree::new(2, 4);
         let map = CostPartitionMap::build(&tree, 1, 4);
         let _ = map.owner(&Key::root(2), 8);
+    }
+
+    #[test]
+    fn lpt_assign_balances_homogeneous_nodes() {
+        // Classic LPT on 2 equal nodes: loads end within one item.
+        let w = [9u64, 7, 6, 5, 4, 2];
+        let a = lpt_assign(&w, &[0.0, 0.0], &[1.0, 1.0]);
+        let mut load = [0u64; 2];
+        for (i, &n) in a.iter().enumerate() {
+            load[n] += w[i];
+        }
+        assert_eq!(load[0] + load[1], 33);
+        assert!(load[0].abs_diff(load[1]) <= 2, "loads {load:?}");
+    }
+
+    #[test]
+    fn lpt_assign_feeds_faster_nodes_more() {
+        // Node 1 is 3x faster: it must receive about 3x the weight.
+        let w = vec![10u64; 40];
+        let a = lpt_assign(&w, &[0.0, 0.0], &[3.0, 1.0]);
+        let to_fast = a.iter().filter(|&&n| n == 1).count();
+        assert!(
+            (28..=32).contains(&to_fast),
+            "fast node got {to_fast}/40 items"
+        );
+    }
+
+    #[test]
+    fn lpt_assign_respects_head_starts() {
+        // Node 0 has a 100 s backlog; everything goes to node 1 until
+        // its finish estimate catches up.
+        let w = vec![1u64; 50];
+        let a = lpt_assign(&w, &[100.0, 0.0], &[1.0, 1.0]);
+        let to_busy = a.iter().filter(|&&n| n == 0).count();
+        assert_eq!(to_busy, 0, "the busy node must not receive work");
     }
 
     #[test]

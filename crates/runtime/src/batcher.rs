@@ -44,13 +44,26 @@ impl Default for BatcherConfig {
 }
 
 /// Accumulates compute tasks into per-kind batches.
+///
+/// Three flush causes, accounted separately (the distinction feeds
+/// `tablegen trace`):
+///
+/// * **size** — a push reached `max_batch` for its kind;
+/// * **timer** — [`Batcher::flush_expired`] found a kind whose oldest
+///   task has waited at least `config.timer`;
+/// * **drain** — [`Batcher::drain`] emptied the remainder at shutdown
+///   (end-of-run leftovers are *not* timer expiries).
 #[derive(Debug)]
 pub struct Batcher<T> {
     config: BatcherConfig,
     batches: HashMap<TaskKind, Vec<T>>,
+    /// When each pending kind's oldest task was pushed — the timer's
+    /// reference point.
+    oldest_push: HashMap<TaskKind, SimTime>,
     pushed: u64,
     flushed_by_size: u64,
     flushed_by_timer: u64,
+    flushed_by_drain: u64,
 }
 
 impl<T> Batcher<T> {
@@ -63,20 +76,36 @@ impl<T> Batcher<T> {
         Batcher {
             config,
             batches: HashMap::new(),
+            oldest_push: HashMap::new(),
             pushed: 0,
             flushed_by_size: 0,
             flushed_by_timer: 0,
+            flushed_by_drain: 0,
         }
     }
 
-    /// Adds a task; returns a full batch if this push reached the size
-    /// trigger for its kind.
+    /// Adds a task at time zero; returns a full batch if this push
+    /// reached the size trigger for its kind. Callers without a
+    /// simulated clock (the live executor paths) use this and rely on
+    /// size flushes plus a final [`Batcher::drain`].
     pub fn push(&mut self, kind: TaskKind, task: T) -> Option<(TaskKind, Vec<T>)> {
+        self.push_at(kind, task, SimTime::ZERO)
+    }
+
+    /// Adds a task pushed at `now`; returns a full batch if this push
+    /// reached the size trigger for its kind. The timestamp of a kind's
+    /// *oldest* pending task is what [`Batcher::flush_expired`] ages
+    /// against.
+    pub fn push_at(&mut self, kind: TaskKind, task: T, now: SimTime) -> Option<(TaskKind, Vec<T>)> {
         self.pushed += 1;
         let v = self.batches.entry(kind).or_default();
+        if v.is_empty() {
+            self.oldest_push.insert(kind, now);
+        }
         v.push(task);
         if v.len() >= self.config.max_batch {
             self.flushed_by_size += 1;
+            self.oldest_push.remove(&kind);
             let batch = self.batches.remove(&kind).expect("just inserted");
             Some((kind, batch))
         } else {
@@ -84,17 +113,43 @@ impl<T> Batcher<T> {
         }
     }
 
-    /// Timer expiry: drains every pending batch (deterministic kind
+    /// Timer expiry at `now`: flushes every kind whose oldest pending
+    /// task has waited at least `config.timer` (deterministic kind
     /// order). "Batches of compute tasks will be executed one by one at
-    /// this point."
-    pub fn flush_all(&mut self) -> Vec<(TaskKind, Vec<T>)> {
+    /// this point." Kinds younger than the timer stay pending.
+    pub fn flush_expired(&mut self, now: SimTime) -> Vec<(TaskKind, Vec<T>)> {
+        let mut kinds: Vec<TaskKind> = self
+            .oldest_push
+            .iter()
+            .filter(|(_, &t0)| now.saturating_sub(t0) >= self.config.timer)
+            .map(|(&k, _)| k)
+            .collect();
+        kinds.sort_unstable();
+        let mut out = Vec::with_capacity(kinds.len());
+        for kind in kinds {
+            self.oldest_push.remove(&kind);
+            if let Some(batch) = self.batches.remove(&kind) {
+                if !batch.is_empty() {
+                    self.flushed_by_timer += 1;
+                    out.push((kind, batch));
+                }
+            }
+        }
+        out
+    }
+
+    /// Shutdown: drains every pending batch (deterministic kind order)
+    /// regardless of age. Counted as drains, not timer expiries, so the
+    /// end-of-run remainder does not inflate `batch_flush_timer`.
+    pub fn drain(&mut self) -> Vec<(TaskKind, Vec<T>)> {
         let mut kinds: Vec<TaskKind> = self.batches.keys().copied().collect();
         kinds.sort_unstable();
+        self.oldest_push.clear();
         let mut out = Vec::with_capacity(kinds.len());
         for kind in kinds {
             if let Some(batch) = self.batches.remove(&kind) {
                 if !batch.is_empty() {
-                    self.flushed_by_timer += 1;
+                    self.flushed_by_drain += 1;
                     out.push((kind, batch));
                 }
             }
@@ -117,19 +172,25 @@ impl<T> Batcher<T> {
         self.config
     }
 
-    /// `(pushed, flushed_by_size, flushed_by_timer)`.
-    pub fn stats(&self) -> (u64, u64, u64) {
-        (self.pushed, self.flushed_by_size, self.flushed_by_timer)
+    /// `(pushed, flushed_by_size, flushed_by_timer, flushed_by_drain)`.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.pushed,
+            self.flushed_by_size,
+            self.flushed_by_timer,
+            self.flushed_by_drain,
+        )
     }
 
     /// Dumps the flush-cause statistics into a trace recorder's counter
     /// registry (`batch_pushed` / `batch_flush_size` /
-    /// `batch_flush_timer`). Deltas accumulate, so several batchers can
-    /// report into one registry.
+    /// `batch_flush_timer` / `batch_flush_drain`). Deltas accumulate, so
+    /// several batchers can report into one registry.
     pub fn record_stats<R: madness_trace::Recorder>(&self, rec: &mut R) {
         rec.add("batch_pushed", self.pushed);
         rec.add("batch_flush_size", self.flushed_by_size);
         rec.add("batch_flush_timer", self.flushed_by_timer);
+        rec.add("batch_flush_drain", self.flushed_by_drain);
     }
 }
 
@@ -195,7 +256,7 @@ mod tests {
     }
 
     #[test]
-    fn timer_flush_drains_everything_in_kind_order() {
+    fn drain_empties_everything_in_kind_order() {
         let mut b = Batcher::new(BatcherConfig {
             max_batch: 100,
             timer: SimTime::from_millis(5),
@@ -203,25 +264,95 @@ mod tests {
         b.push(kind(2), 20);
         b.push(kind(1), 10);
         b.push(kind(1), 11);
-        let drained = b.flush_all();
+        let drained = b.drain();
         assert_eq!(drained.len(), 2);
         assert_eq!(drained[0].0, kind(1)); // deterministic order
         assert_eq!(drained[0].1, vec![10, 11]);
         assert_eq!(drained[1].1, vec![20]);
         assert_eq!(b.pending(), 0);
-        assert!(b.flush_all().is_empty());
+        assert!(b.drain().is_empty());
+    }
+
+    #[test]
+    fn flush_expired_honors_per_kind_age() {
+        let ms = SimTime::from_millis;
+        let mut b = Batcher::new(BatcherConfig {
+            max_batch: 100,
+            timer: ms(5),
+        });
+        b.push_at(kind(1), 10, ms(0));
+        b.push_at(kind(2), 20, ms(4));
+        // At t=3 ms nothing has aged 5 ms yet.
+        assert!(b.flush_expired(ms(3)).is_empty());
+        // At t=6 ms only kind 1 (age 6 ms) expires; kind 2 is 2 ms old.
+        let expired = b.flush_expired(ms(6));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].0, kind(1));
+        assert_eq!(b.pending(), 1);
+        // Kind 2 expires once its own oldest push ages out.
+        let expired = b.flush_expired(ms(9));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].0, kind(2));
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn timer_ages_against_oldest_push_not_latest() {
+        let ms = SimTime::from_millis;
+        let mut b = Batcher::new(BatcherConfig {
+            max_batch: 100,
+            timer: ms(5),
+        });
+        b.push_at(kind(1), 1, ms(0));
+        // A steady trickle must not keep resetting the clock.
+        b.push_at(kind(1), 2, ms(4));
+        let expired = b.flush_expired(ms(5));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].1, vec![1, 2]);
+    }
+
+    #[test]
+    fn size_flush_resets_the_kind_age() {
+        let ms = SimTime::from_millis;
+        let mut b = Batcher::new(BatcherConfig {
+            max_batch: 2,
+            timer: ms(5),
+        });
+        b.push_at(kind(1), 1, ms(0));
+        assert!(b.push_at(kind(1), 2, ms(1)).is_some()); // size flush
+        b.push_at(kind(1), 3, ms(6));
+        // The surviving task was pushed at t=6; at t=7 it is 1 ms old —
+        // the flushed batch's t=0 start must not leak into its age.
+        assert!(b.flush_expired(ms(7)).is_empty());
+        assert_eq!(b.flush_expired(ms(11)).len(), 1);
     }
 
     #[test]
     fn stats_track_flush_causes() {
         let mut b = Batcher::new(BatcherConfig {
             max_batch: 2,
-            timer: SimTime::ZERO,
+            timer: SimTime::from_millis(1),
         });
         b.push(kind(1), 0);
         b.push(kind(1), 1); // size flush
-        b.push(kind(2), 2);
-        b.flush_all(); // timer flush
-        assert_eq!(b.stats(), (3, 1, 1));
+        b.push_at(kind(2), 2, SimTime::ZERO);
+        b.flush_expired(SimTime::from_millis(2)); // timer flush
+        b.push(kind(3), 3);
+        b.drain(); // shutdown drain
+        assert_eq!(b.stats(), (4, 1, 1, 1));
+    }
+
+    #[test]
+    fn drain_does_not_inflate_the_timer_counter() {
+        let mut b = Batcher::new(BatcherConfig {
+            max_batch: 100,
+            timer: SimTime::from_millis(1),
+        });
+        b.push(kind(1), 0);
+        b.push(kind(2), 1);
+        b.drain();
+        let (_, _, by_timer, by_drain) = b.stats();
+        assert_eq!(by_timer, 0);
+        assert_eq!(by_drain, 2);
     }
 }

@@ -69,7 +69,7 @@ where
                 dispatch(full);
             }
         }
-        for (_, rest) in batcher.flush_all() {
+        for (_, rest) in batcher.drain() {
             dispatch(rest);
         }
         drop(tx);

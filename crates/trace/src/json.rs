@@ -19,7 +19,8 @@
 //! fields above are interpreted.
 
 use crate::{
-    DispatchSample, FaultAction, FaultEvent, FaultKind, MemRecorder, Record, Recorder, Stage,
+    BalanceEvent, BalanceKind, DispatchSample, FaultAction, FaultEvent, FaultKind, MemRecorder,
+    Record, Recorder, Stage,
 };
 use std::fmt::Write as _;
 
@@ -77,6 +78,18 @@ pub(crate) fn export(rec: &MemRecorder) -> String {
                     f.action.name(),
                     f.at_ns,
                     f.tasks
+                );
+            }
+            Record::Balance(b) => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":\"balance\",\"kind\":\"{}\",\"from\":{},\"to\":{},\"tasks\":{},\"bytes\":{},\"at_ns\":{}}}",
+                    b.kind.name(),
+                    b.from_node,
+                    b.to_node,
+                    b.tasks,
+                    b.bytes,
+                    b.at_ns
                 );
             }
         }
@@ -235,7 +248,25 @@ fn replay_record(r: &Value, rec: &mut MemRecorder) -> Result<(), JsonError> {
             });
             Ok(())
         }
-        _ => Err(bad("record type must be \"span\", \"event\" or \"fault\"")),
+        Some(Value::String(t)) if t == "balance" => {
+            let kind = match get("kind") {
+                Some(Value::String(s)) => BalanceKind::from_name(s)
+                    .ok_or_else(|| bad(&format!("unknown balance kind '{s}'")))?,
+                _ => return Err(bad("balance record missing kind")),
+            };
+            rec.balance_event(BalanceEvent {
+                kind,
+                from_node: num("from")? as u32,
+                to_node: num("to")? as u32,
+                tasks: num("tasks")?,
+                bytes: num("bytes")?,
+                at_ns: num("at_ns")?,
+            });
+            Ok(())
+        }
+        _ => Err(bad(
+            "record type must be \"span\", \"event\", \"fault\" or \"balance\"",
+        )),
     }
 }
 
@@ -458,6 +489,22 @@ mod tests {
             at_ns: 3_000,
             tasks: 56,
         });
+        rec.balance_event(BalanceEvent {
+            kind: BalanceKind::Steal,
+            from_node: 2,
+            to_node: 5,
+            tasks: 120,
+            bytes: 960_000,
+            at_ns: 2_500,
+        });
+        rec.balance_event(BalanceEvent {
+            kind: BalanceKind::Repartition,
+            from_node: 0,
+            to_node: 3,
+            tasks: 48,
+            bytes: 384_000,
+            at_ns: 3_500,
+        });
         rec.add("cache_miss", 1);
         rec.add("cache_hit", 9);
         rec.gauge_hwm("pinned_pool_hwm_bytes", 1 << 20);
@@ -515,6 +562,8 @@ mod tests {
             "{\"journal\":[{\"t\":\"span\",\"stage\":\"NotAStage\",\"start_ns\":0,\"end_ns\":1,\"lane\":0}]}",
             "{\"journal\":[{\"t\":\"fault\",\"kind\":\"NotAFault\",\"action\":\"Injected\",\"at_ns\":0,\"tasks\":1}]}",
             "{\"journal\":[{\"t\":\"fault\",\"kind\":\"DeviceLost\",\"at_ns\":0,\"tasks\":1}]}",
+            "{\"journal\":[{\"t\":\"balance\",\"kind\":\"NotAKind\",\"from\":0,\"to\":1,\"tasks\":1,\"bytes\":1,\"at_ns\":0}]}",
+            "{\"journal\":[{\"t\":\"balance\",\"kind\":\"Steal\",\"to\":1,\"tasks\":1,\"bytes\":1,\"at_ns\":0}]}",
             "{\"counters\":{\"x\":-3}}",
             "{} trailing",
         ] {

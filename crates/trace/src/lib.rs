@@ -70,11 +70,14 @@ pub enum Stage {
     NetSend,
     /// Remote accumulation traffic received from the network.
     NetRecv,
+    /// Task-batch migration in flight on the interconnect (work stealing
+    /// or a repartition epoch moving whole batches between nodes).
+    Migrate,
 }
 
 impl Stage {
     /// Every stage, in declaration order.
-    pub const ALL: [Stage; 12] = [
+    pub const ALL: [Stage; 13] = [
         Stage::Preprocess,
         Stage::Batch,
         Stage::Dispatch,
@@ -87,6 +90,7 @@ impl Stage {
         Stage::CacheEvict,
         Stage::NetSend,
         Stage::NetRecv,
+        Stage::Migrate,
     ];
 
     /// Stable name used in the JSON journal and reports.
@@ -104,6 +108,7 @@ impl Stage {
             Stage::CacheEvict => "CacheEvict",
             Stage::NetSend => "NetSend",
             Stage::NetRecv => "NetRecv",
+            Stage::Migrate => "Migrate",
         }
     }
 
@@ -130,6 +135,7 @@ impl Stage {
             Stage::Preprocess => 7,
             Stage::Postprocess => 6,
             Stage::Batch => 5,
+            Stage::Migrate => 12,
             Stage::NetSend => 4,
             Stage::NetRecv => 3,
             Stage::CacheMiss => 2,
@@ -183,6 +189,54 @@ pub enum Record {
     Event(Event),
     /// A fault-path record (injection, detection, recovery).
     Fault(FaultEvent),
+    /// A load-balancing decision (steal or repartition migration).
+    Balance(BalanceEvent),
+}
+
+/// Which dynamic-load-balancing mechanism moved work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BalanceKind {
+    /// An idle node pulled batched work from the most-loaded node.
+    Steal,
+    /// A sync-epoch repartition pushed queued batches to faster nodes.
+    Repartition,
+}
+
+impl BalanceKind {
+    /// Every kind, in declaration order.
+    pub const ALL: [BalanceKind; 2] = [BalanceKind::Steal, BalanceKind::Repartition];
+
+    /// Stable name used in the JSON journal and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BalanceKind::Steal => "Steal",
+            BalanceKind::Repartition => "Repartition",
+        }
+    }
+
+    /// Inverse of [`BalanceKind::name`].
+    pub fn from_name(name: &str) -> Option<BalanceKind> {
+        BalanceKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// One migration decision of the cluster-level load balancer: whole task
+/// batches moving from one compute node to another, with the traffic
+/// they put on the interconnect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BalanceEvent {
+    /// Which mechanism decided the move.
+    pub kind: BalanceKind,
+    /// Node shedding the work (the steal victim / repartition source).
+    pub from_node: u32,
+    /// Node receiving the work (the thief / repartition target).
+    pub to_node: u32,
+    /// Whole tasks migrated (always full batches, never fractions).
+    pub tasks: u64,
+    /// Input bytes the migration injects into the interconnect.
+    pub bytes: u64,
+    /// Simulated decision instant, nanoseconds.
+    pub at_ns: u64,
 }
 
 /// The fault taxonomy shared by the injector (`madness-faults`) and the
@@ -439,6 +493,9 @@ pub trait Recorder {
 
     /// Journals a fault-path record.
     fn fault(&mut self, ev: FaultEvent);
+
+    /// Journals a load-balancing decision.
+    fn balance_event(&mut self, ev: BalanceEvent);
 }
 
 /// The disabled recorder: every method is a no-op and `ENABLED = false`.
@@ -462,6 +519,8 @@ impl Recorder for NullRecorder {
     fn observe_dispatch(&mut self, _: DispatchSample) {}
     #[inline(always)]
     fn fault(&mut self, _: FaultEvent) {}
+    #[inline(always)]
+    fn balance_event(&mut self, _: BalanceEvent) {}
 }
 
 /// In-memory recorder: journal in emission order + metrics registry.
@@ -507,6 +566,14 @@ impl MemRecorder {
     pub fn faults(&self) -> impl Iterator<Item = &FaultEvent> {
         self.journal.iter().filter_map(|r| match r {
             Record::Fault(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// All load-balancing records, in emission order.
+    pub fn balance_events(&self) -> impl Iterator<Item = &BalanceEvent> {
+        self.journal.iter().filter_map(|r| match r {
+            Record::Balance(b) => Some(b),
             _ => None,
         })
     }
@@ -566,6 +633,10 @@ impl Recorder for MemRecorder {
 
     fn fault(&mut self, ev: FaultEvent) {
         self.journal.push(Record::Fault(ev));
+    }
+
+    fn balance_event(&mut self, ev: BalanceEvent) {
+        self.journal.push(Record::Balance(ev));
     }
 }
 
@@ -667,6 +738,44 @@ mod tests {
             at_ns: 7,
             tasks: 60,
         });
+    }
+
+    #[test]
+    fn balance_names_round_trip() {
+        for k in BalanceKind::ALL {
+            assert_eq!(BalanceKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(BalanceKind::from_name("NotABalanceKind"), None);
+    }
+
+    #[test]
+    fn balance_records_interleave_in_order() {
+        let mut rec = MemRecorder::new();
+        rec.span(Stage::Migrate, 5, 25, 0);
+        rec.balance_event(BalanceEvent {
+            kind: BalanceKind::Steal,
+            from_node: 3,
+            to_node: 7,
+            tasks: 120,
+            bytes: 960_000,
+            at_ns: 5,
+        });
+        rec.balance_event(BalanceEvent {
+            kind: BalanceKind::Repartition,
+            from_node: 0,
+            to_node: 1,
+            tasks: 60,
+            bytes: 480_000,
+            at_ns: 40,
+        });
+        assert_eq!(rec.balance_events().count(), 2);
+        let bs: Vec<_> = rec.balance_events().collect();
+        assert_eq!(bs[0].kind, BalanceKind::Steal);
+        assert_eq!((bs[0].from_node, bs[0].to_node), (3, 7));
+        assert_eq!(bs[1].kind, BalanceKind::Repartition);
+        // Balance records never leak into the stage attribution.
+        let bd = rec.breakdown(25);
+        assert_eq!(bd.attributed_total_ns(), 25);
     }
 
     #[test]
