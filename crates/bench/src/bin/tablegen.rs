@@ -6,7 +6,8 @@
 //! ```
 
 use madness_bench::{
-    ablation, balance_report, dispatch_report, faults_report, figures, perf, tables, trace_report,
+    ablation, balance_report, dispatch_report, faults_report, figures, perf, serve_report, tables,
+    trace_report,
 };
 
 fn hr(title: &str) {
@@ -265,6 +266,24 @@ fn balance(write_json: bool) {
     }
 }
 
+fn serve(write_json: bool) {
+    hr(
+        "Serve — online serving, 2 Poisson tenants at 0.7x capacity, 4 nodes\n\
+         requests batch per kind on their data-affine home node, queue by\n\
+         tenant weight, and steal under the balance profit guard; exact\n\
+         nearest-rank p50/p99/p999 sojourns and per-tenant SLO attainment",
+    );
+    let r = serve_report::serve_table();
+    print!("{}", serve_report::render(&r));
+    if write_json {
+        let path = std::path::Path::new("BENCH_serve.json");
+        match std::fs::write(path, serve_report::to_json(&r)) {
+            Ok(()) => println!("\nserve trajectory point written to {}", path.display()),
+            Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+        }
+    }
+}
+
 const EXPERIMENTS: &[&str] = &[
     "table1",
     "table2",
@@ -281,12 +300,13 @@ const EXPERIMENTS: &[&str] = &[
     "dispatch",
     "faults",
     "balance",
+    "serve",
 ];
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    // `--json` affects `bench` (writes BENCH_apply.json) and `balance`
-    // (writes BENCH_cluster.json).
+    // `--json` affects `bench` (writes BENCH_apply.json), `balance`
+    // (writes BENCH_cluster.json), and `serve` (writes BENCH_serve.json).
     let json = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
     if let Some(bad) = args
@@ -355,5 +375,8 @@ fn main() {
     }
     if want("balance") {
         balance(json);
+    }
+    if want("serve") {
+        serve(json);
     }
 }

@@ -23,6 +23,7 @@
 //! | Dispatch   | [`dispatch_report::dispatch_table1`] |
 //! | Faults     | [`faults_report::faults_table1`] |
 //! | Balance    | [`balance_report::balance_table`] |
+//! | Serve      | [`serve_report::serve_table`] |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,5 +34,6 @@ pub mod dispatch_report;
 pub mod faults_report;
 pub mod figures;
 pub mod perf;
+pub mod serve_report;
 pub mod tables;
 pub mod trace_report;

@@ -42,6 +42,7 @@ pub mod cluster;
 pub mod des;
 pub mod network;
 pub mod node;
+pub mod serve;
 pub mod workload;
 
 pub use balance::{BalanceMode, BalanceReport};
@@ -49,4 +50,8 @@ pub use cluster::{ClusterReport, ClusterSim};
 pub use des::{Des, FifoResource};
 pub use network::{Interconnect, NetworkModel};
 pub use node::{FaultSummary, NodeParams, NodeRate, NodeReport, NodeSim, ResourceMode};
+pub use serve::{
+    generate_requests, KindLatency, LatencyStats, RateProfile, Request, ServeConfig, ServeReport,
+    ShedPolicy, TenantReport, TenantSpec,
+};
 pub use workload::{TaskPopulation, WorkloadSpec};

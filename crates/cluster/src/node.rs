@@ -522,10 +522,7 @@ impl NodeSim {
         // Learned-dispatcher state (AdaptiveHybrid only). The simulated
         // workload is homogeneous, so all batches share one kind.
         let mut learned = AdaptiveDispatcher::new(AdaptiveConfig::default());
-        const SIM_KIND: TaskKind = TaskKind {
-            op: 0x51D,
-            data_hash: 0,
-        };
+        const SIM_KIND: TaskKind = TaskKind::new(0x51D, 0);
         // Most recent fault cause — labels device-lifecycle journal
         // entries (quarantine, readmission) with what provoked them.
         let mut last_fault_kind = FaultKind::StreamStall;

@@ -63,7 +63,15 @@ impl TaskPopulation {
     }
 
     /// Load imbalance: `max / mean` (1.0 = perfectly even).
+    ///
+    /// Degenerate partitions read as perfectly even rather than
+    /// poisoning downstream gates: an empty partition (`per_node` empty)
+    /// would otherwise divide by a zero length and return NaN, and an
+    /// all-zero partition would compute 0/0.
     pub fn imbalance(&self) -> f64 {
+        if self.per_node.is_empty() {
+            return 1.0;
+        }
         let total = self.total();
         if total == 0 {
             return 1.0;
@@ -180,6 +188,25 @@ mod tests {
         assert_eq!(p.total(), 103);
         assert_eq!(p.max_per_node(), 11);
         assert!(p.imbalance() < 1.07);
+    }
+
+    #[test]
+    fn degenerate_partitions_read_as_even_not_nan() {
+        // Empty partition: no nodes at all.
+        let empty = TaskPopulation {
+            spec: spec(),
+            per_node: vec![],
+        };
+        assert_eq!(empty.imbalance(), 1.0);
+        // All-zero partition: nodes exist, no tasks.
+        let idle = TaskPopulation {
+            spec: spec(),
+            per_node: vec![0, 0, 0],
+        };
+        assert_eq!(idle.imbalance(), 1.0);
+        // Neither may poison a numeric gate downstream.
+        assert!(empty.imbalance().is_finite());
+        assert!(idle.imbalance().is_finite());
     }
 
     #[test]

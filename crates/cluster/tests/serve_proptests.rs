@@ -1,0 +1,168 @@
+//! Serving-layer proptests (ISSUE 6): the admission conservation law —
+//! `completed + rejected + shed == generated`, with
+//! `admitted == completed + shed` — must hold for every traffic shape,
+//! queue bound, shed policy, balance mode, and fault plan; and the
+//! percentile sink must stay monotone (p50 ≤ p99 ≤ p999 ≤ max).
+
+use madness_cluster::cluster::ClusterSim;
+use madness_cluster::network::NetworkModel;
+use madness_cluster::node::{NodeParams, NodeSim, ResourceMode};
+use madness_cluster::serve::{LatencyStats, RateProfile, ServeConfig, ShedPolicy, TenantSpec};
+use madness_cluster::workload::WorkloadSpec;
+use madness_cluster::BalanceMode;
+use madness_faults::{FaultPlan, RecoveryPolicy};
+use madness_gpusim::{KernelKind, SimTime};
+use madness_runtime::TenantId;
+use madness_trace::NullRecorder;
+use proptest::prelude::*;
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        d: 3,
+        k: 10,
+        rank: 100,
+        rr_mean_rank: None,
+    }
+}
+
+fn sim() -> ClusterSim {
+    ClusterSim::new(NodeSim::new(NodeParams::default()), NetworkModel::default())
+}
+
+fn hybrid() -> ResourceMode {
+    ResourceMode::Hybrid {
+        compute_threads: 10,
+        data_threads: 5,
+        streams: 5,
+        kernel: KernelKind::CustomMtxmq,
+    }
+}
+
+fn profile(idx: u8, rate: f64) -> RateProfile {
+    match idx % 3 {
+        0 => RateProfile::Poisson { rate },
+        1 => RateProfile::OnOff {
+            rate_on: rate * 2.0,
+            rate_off: rate / 4.0,
+            period: SimTime::from_millis(7),
+            duty: 0.5,
+        },
+        _ => RateProfile::Diurnal {
+            base: rate,
+            amplitude: rate / 2.0,
+            period: SimTime::from_millis(13),
+        },
+    }
+}
+
+fn bmode(idx: u8) -> BalanceMode {
+    match idx % 3 {
+        0 => BalanceMode::Static,
+        1 => BalanceMode::Steal {
+            min_batch: 60,
+            max_inflight: 8,
+        },
+        _ => BalanceMode::Repartition { epochs: 3 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation under arbitrary traffic, admission bounds, shed
+    /// policies, balance modes, and a straggler plan: every generated
+    /// request leaves the system exactly once, and only admitted
+    /// requests ever complete or shed.
+    #[test]
+    fn admission_conserves_requests(
+        seed in any::<u64>(),
+        rho in 0.2f64..2.5,
+        nodes in 2usize..6,
+        capacity in 8usize..4096,
+        profile_a in 0u8..3,
+        profile_b in 0u8..3,
+        mode_idx in 0u8..3,
+        drop_oldest in any::<bool>(),
+        straggler in 1.0f64..3.0,
+    ) {
+        let s = sim();
+        let rate = s.node().calibrate(
+            &spec(),
+            hybrid(),
+            &FaultPlan::none(),
+            RecoveryPolicy::default(),
+        );
+        let total = rho * nodes as f64 / (rate.per_task.as_secs_f64() * 4.0).max(1e-12);
+        let cfg = ServeConfig {
+            spec: spec(),
+            tenants: vec![
+                TenantSpec {
+                    id: TenantId(1),
+                    weight: 3.0,
+                    deadline: SimTime::from_millis(5),
+                    profile: profile(profile_a, total / 2.0),
+                    tasks_per_request: 4,
+                },
+                TenantSpec {
+                    id: TenantId(2),
+                    weight: 1.0,
+                    deadline: SimTime::from_millis(20),
+                    profile: profile(profile_b, total / 2.0),
+                    tasks_per_request: 2,
+                },
+            ],
+            nodes,
+            seed,
+            horizon: SimTime::from_millis(20),
+            queue_capacity: capacity,
+            shed: if drop_oldest { ShedPolicy::DropOldest } else { ShedPolicy::RejectNew },
+            kinds_per_tenant: 3,
+        };
+        let mut plans = vec![FaultPlan::none(); nodes];
+        plans[0] = FaultPlan::none().with_straggler(straggler);
+        let report = s.run_served_with_faults(
+            &cfg,
+            hybrid(),
+            bmode(mode_idx),
+            &plans,
+            RecoveryPolicy::default(),
+            &mut NullRecorder,
+        );
+        prop_assert!(report.conserved(), "conservation violated: {report:?}");
+        prop_assert_eq!(report.admitted, report.completed + report.shed);
+        prop_assert_eq!(
+            report.generated,
+            report.admitted + report.rejected
+        );
+        // Per-tenant accounting sums to the cluster totals.
+        let by_tenant: u64 = report.tenants.iter().map(|t| t.generated).sum();
+        prop_assert_eq!(by_tenant, report.generated);
+        let completed: u64 = report.tenants.iter().map(|t| t.completed).sum();
+        prop_assert_eq!(completed, report.completed);
+        // RejectNew never sheds admitted work.
+        if !drop_oldest {
+            prop_assert_eq!(report.shed, 0);
+        }
+        for t in &report.tenants {
+            prop_assert!((0.0..=1.0).contains(&t.slo_attainment));
+            prop_assert_eq!(t.generated, t.completed + t.rejected + t.shed);
+        }
+    }
+
+    /// The percentile sink is monotone in its quantiles and bounded by
+    /// the extremes of the population.
+    #[test]
+    fn percentiles_are_monotone(ns in proptest::collection::vec(0u64..10_000_000, 1..400)) {
+        let mut ns = ns;
+        let stats = LatencyStats::from_sojourns(ns.clone());
+        prop_assert_eq!(stats.count as usize, ns.len());
+        prop_assert!(stats.p50 <= stats.p99);
+        prop_assert!(stats.p99 <= stats.p999);
+        prop_assert!(stats.p999 <= stats.max);
+        ns.sort_unstable();
+        prop_assert_eq!(stats.max, SimTime::from_nanos(*ns.last().unwrap()));
+        prop_assert!(stats.p50 >= SimTime::from_nanos(ns[0]));
+        prop_assert!(stats.mean <= stats.max);
+        prop_assert!(stats.mean >= SimTime::from_nanos(ns[0]));
+    }
+}

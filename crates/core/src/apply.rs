@@ -387,10 +387,7 @@ pub fn apply_batched_recorded<R: Recorder>(
     };
 
     for p in prepared {
-        let kind = TaskKind {
-            op: APPLY_OP_ID,
-            data_hash: p.neighbor.level() as u64,
-        };
+        let kind = TaskKind::new(APPLY_OP_ID, p.neighbor.level() as u64);
         if let Some((flushed_kind, full)) = batcher.push(kind, p) {
             run_batch(
                 flushed_kind,

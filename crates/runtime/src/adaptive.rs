@@ -462,10 +462,7 @@ mod tests {
     use super::*;
     use crate::dispatch::hybrid_optimal_time;
 
-    const KIND: TaskKind = TaskKind {
-        op: 0xAD,
-        data_hash: 0,
-    };
+    const KIND: TaskKind = TaskKind::new(0xAD, 0);
 
     fn dispatcher() -> AdaptiveDispatcher {
         AdaptiveDispatcher::new(AdaptiveConfig::default())
@@ -661,10 +658,7 @@ mod tests {
 
     #[test]
     fn kinds_learn_independently() {
-        let other = TaskKind {
-            op: 0xBEEF,
-            data_hash: 7,
-        };
+        let other = TaskKind::new(0xBEEF, 7);
         let mut d = dispatcher();
         drive(&mut d, 60, 10, 2_500.0, 800.0);
         // A fresh kind must re-probe, not inherit KIND's model.

@@ -10,15 +10,50 @@
 use madness_gpusim::SimTime;
 use std::collections::HashMap;
 
+/// A tenant of the online serving layer: a traffic source with its own
+/// arrival process, queue weight, and latency SLO. The batch (offline)
+/// entry points all run as the implicit [`TenantId::SOLO`] tenant, so
+/// tenancy costs them nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The implicit single tenant of every batch entry point.
+    pub const SOLO: TenantId = TenantId(0);
+}
+
 /// The identity of a batch: which compute function, over which input
 /// class (e.g. tensor shape — batches must be homogeneous to share GPU
-/// buffers).
+/// buffers), on behalf of which tenant (requests from different tenants
+/// never share a batch, so per-tenant accounting stays exact).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TaskKind {
     /// Stand-in for "the memory address of the compute function".
     pub op: u64,
     /// "User-defined hash function applied to the input data".
     pub data_hash: u64,
+    /// The traffic source the task serves ([`TenantId::SOLO`] offline).
+    pub tenant: TenantId,
+}
+
+impl TaskKind {
+    /// A single-tenant (offline) kind — the batch entry points' default.
+    pub const fn new(op: u64, data_hash: u64) -> TaskKind {
+        TaskKind {
+            op,
+            data_hash,
+            tenant: TenantId::SOLO,
+        }
+    }
+
+    /// A kind tagged with the serving tenant it belongs to.
+    pub const fn for_tenant(op: u64, data_hash: u64, tenant: TenantId) -> TaskKind {
+        TaskKind {
+            op,
+            data_hash,
+            tenant,
+        }
+    }
 }
 
 /// Flush policy for the batcher.
@@ -199,7 +234,7 @@ mod tests {
     use super::*;
 
     fn kind(op: u64) -> TaskKind {
-        TaskKind { op, data_hash: 0 }
+        TaskKind::new(op, 0)
     }
 
     #[test]
@@ -238,21 +273,24 @@ mod tests {
             max_batch: 10,
             timer: SimTime::ZERO,
         });
-        b.push(
-            TaskKind {
-                op: 1,
-                data_hash: 10,
-            },
-            "k10",
-        );
-        b.push(
-            TaskKind {
-                op: 1,
-                data_hash: 20,
-            },
-            "k20",
-        );
+        b.push(TaskKind::new(1, 10), "k10");
+        b.push(TaskKind::new(1, 20), "k20");
         assert_eq!(b.pending_kinds(), 2);
+    }
+
+    #[test]
+    fn tenants_separate_batches() {
+        // Same op and shape on behalf of different tenants must not mix:
+        // per-tenant accounting depends on homogeneous batches.
+        let mut b = Batcher::new(BatcherConfig {
+            max_batch: 10,
+            timer: SimTime::ZERO,
+        });
+        b.push(TaskKind::for_tenant(1, 10, TenantId(1)), "t1");
+        b.push(TaskKind::for_tenant(1, 10, TenantId(2)), "t2");
+        assert_eq!(b.pending_kinds(), 2);
+        // The offline constructor is the SOLO tenant.
+        assert_eq!(TaskKind::new(1, 10).tenant, TenantId::SOLO);
     }
 
     #[test]
@@ -340,6 +378,31 @@ mod tests {
         b.push(kind(3), 3);
         b.drain(); // shutdown drain
         assert_eq!(b.stats(), (4, 1, 1, 1));
+    }
+
+    #[test]
+    fn zero_timer_flushes_same_tick_exactly_once() {
+        // The serving loop schedules a flush sweep at the push instant
+        // when `timer == ZERO`: a kind pushed at `now` has age 0 ≥ 0 and
+        // expires in the same tick. Flushing removes the kind's age
+        // entry, so a second sweep at the same instant must be a no-op —
+        // the loop can never double-flush.
+        let mut b = Batcher::new(BatcherConfig {
+            max_batch: 100,
+            timer: SimTime::ZERO,
+        });
+        let now = SimTime::from_millis(3);
+        b.push_at(kind(1), 1, now);
+        let first = b.flush_expired(now);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].1, vec![1]);
+        assert!(b.flush_expired(now).is_empty(), "double flush");
+        assert!(b.flush_expired(now + SimTime::from_nanos(1)).is_empty());
+        let (pushed, by_size, by_timer, by_drain) = b.stats();
+        assert_eq!((pushed, by_size, by_timer, by_drain), (1, 0, 1, 0));
+        // And a fresh push after the flush ages from its own instant.
+        b.push_at(kind(1), 2, now + SimTime::from_nanos(5));
+        assert_eq!(b.flush_expired(now + SimTime::from_nanos(5)).len(), 1);
     }
 
     #[test]

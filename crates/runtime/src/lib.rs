@@ -36,7 +36,7 @@ pub mod op;
 pub mod pool;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveDispatcher, DispatchDecision, DispatchPhase};
-pub use batcher::{Batcher, BatcherConfig, TaskKind};
+pub use batcher::{Batcher, BatcherConfig, TaskKind, TenantId};
 pub use cpu::CpuModel;
 pub use dispatch::{hybrid_optimal_time, measured_split, optimal_split, SplitPlan};
 pub use op::BatchedOp;

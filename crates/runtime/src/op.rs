@@ -96,10 +96,7 @@ mod tests {
         type Output = i64;
 
         fn kind(&self, input: &Self::Input) -> TaskKind {
-            TaskKind {
-                op: 1,
-                data_hash: input.0,
-            }
+            TaskKind::new(1, input.0)
         }
 
         fn compute(&self, input: Self::Input) -> i64 {

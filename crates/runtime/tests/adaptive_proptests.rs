@@ -7,10 +7,7 @@
 use madness_runtime::{AdaptiveConfig, AdaptiveDispatcher, TaskKind};
 use proptest::prelude::*;
 
-const KIND: TaskKind = TaskKind {
-    op: 0xA991,
-    data_hash: 3,
-};
+const KIND: TaskKind = TaskKind::new(0xA991, 3);
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -20,7 +20,7 @@
 
 use crate::{
     BalanceEvent, BalanceKind, DispatchSample, FaultAction, FaultEvent, FaultKind, MemRecorder,
-    Record, Recorder, Stage,
+    Record, Recorder, ServeEvent, ServeOutcome, Stage,
 };
 use std::fmt::Write as _;
 
@@ -90,6 +90,20 @@ pub(crate) fn export(rec: &MemRecorder) -> String {
                     b.tasks,
                     b.bytes,
                     b.at_ns
+                );
+            }
+            Record::Serve(s) => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":\"serve\",\"tenant\":{},\"op\":{},\"data_hash\":{},\"tasks\":{},\"arrived_ns\":{},\"started_ns\":{},\"finished_ns\":{},\"outcome\":\"{}\"}}",
+                    s.tenant,
+                    s.op,
+                    s.data_hash,
+                    s.tasks,
+                    s.arrived_ns,
+                    s.started_ns,
+                    s.finished_ns,
+                    s.outcome.name()
                 );
             }
         }
@@ -264,8 +278,26 @@ fn replay_record(r: &Value, rec: &mut MemRecorder) -> Result<(), JsonError> {
             });
             Ok(())
         }
+        Some(Value::String(t)) if t == "serve" => {
+            let outcome = match get("outcome") {
+                Some(Value::String(s)) => ServeOutcome::from_name(s)
+                    .ok_or_else(|| bad(&format!("unknown serve outcome '{s}'")))?,
+                _ => return Err(bad("serve record missing outcome")),
+            };
+            rec.serve(ServeEvent {
+                tenant: num("tenant")? as u32,
+                op: num("op")?,
+                data_hash: num("data_hash")?,
+                tasks: num("tasks")?,
+                arrived_ns: num("arrived_ns")?,
+                started_ns: num("started_ns")?,
+                finished_ns: num("finished_ns")?,
+                outcome,
+            });
+            Ok(())
+        }
         _ => Err(bad(
-            "record type must be \"span\", \"event\", \"fault\" or \"balance\"",
+            "record type must be \"span\", \"event\", \"fault\", \"balance\" or \"serve\"",
         )),
     }
 }
@@ -505,6 +537,26 @@ mod tests {
             bytes: 384_000,
             at_ns: 3_500,
         });
+        rec.serve(ServeEvent {
+            tenant: 1,
+            op: 0x5E12,
+            data_hash: 42,
+            tasks: 8,
+            arrived_ns: 500,
+            started_ns: 1_200,
+            finished_ns: 3_900,
+            outcome: ServeOutcome::Completed,
+        });
+        rec.serve(ServeEvent {
+            tenant: 2,
+            op: 0x5E12,
+            data_hash: 42,
+            tasks: 8,
+            arrived_ns: 600,
+            started_ns: 600,
+            finished_ns: 600,
+            outcome: ServeOutcome::Rejected,
+        });
         rec.add("cache_miss", 1);
         rec.add("cache_hit", 9);
         rec.gauge_hwm("pinned_pool_hwm_bytes", 1 << 20);
@@ -564,6 +616,9 @@ mod tests {
             "{\"journal\":[{\"t\":\"fault\",\"kind\":\"DeviceLost\",\"at_ns\":0,\"tasks\":1}]}",
             "{\"journal\":[{\"t\":\"balance\",\"kind\":\"NotAKind\",\"from\":0,\"to\":1,\"tasks\":1,\"bytes\":1,\"at_ns\":0}]}",
             "{\"journal\":[{\"t\":\"balance\",\"kind\":\"Steal\",\"to\":1,\"tasks\":1,\"bytes\":1,\"at_ns\":0}]}",
+            "{\"journal\":[{\"t\":\"serve\",\"tenant\":1,\"op\":1,\"data_hash\":0,\"tasks\":1,\"arrived_ns\":0,\"started_ns\":0,\"finished_ns\":0,\"outcome\":\"NotAnOutcome\"}]}",
+            "{\"journal\":[{\"t\":\"serve\",\"tenant\":1,\"op\":1,\"data_hash\":0,\"tasks\":1,\"arrived_ns\":0,\"started_ns\":0,\"finished_ns\":0}]}",
+            "{\"journal\":[{\"t\":\"serve\",\"op\":1,\"data_hash\":0,\"tasks\":1,\"arrived_ns\":0,\"started_ns\":0,\"finished_ns\":0,\"outcome\":\"Completed\"}]}",
             "{\"counters\":{\"x\":-3}}",
             "{} trailing",
         ] {

@@ -73,11 +73,17 @@ pub enum Stage {
     /// Task-batch migration in flight on the interconnect (work stealing
     /// or a repartition epoch moving whole batches between nodes).
     Migrate,
+    /// A serving request's whole life in the system: admission to
+    /// completion (queue wait + service). Sojourn spans cover every
+    /// other stage of the request by construction, so they carry the
+    /// lowest attribution priority — they label latency, never claim
+    /// simulated time from the pipeline stages.
+    Sojourn,
 }
 
 impl Stage {
     /// Every stage, in declaration order.
-    pub const ALL: [Stage; 13] = [
+    pub const ALL: [Stage; 14] = [
         Stage::Preprocess,
         Stage::Batch,
         Stage::Dispatch,
@@ -91,6 +97,7 @@ impl Stage {
         Stage::NetSend,
         Stage::NetRecv,
         Stage::Migrate,
+        Stage::Sojourn,
     ];
 
     /// Stable name used in the JSON journal and reports.
@@ -109,6 +116,7 @@ impl Stage {
             Stage::NetSend => "NetSend",
             Stage::NetRecv => "NetRecv",
             Stage::Migrate => "Migrate",
+            Stage::Sojourn => "Sojourn",
         }
     }
 
@@ -128,19 +136,20 @@ impl Stage {
     /// then the data threads. Higher wins.
     pub(crate) fn priority(self) -> u8 {
         match self {
-            Stage::KernelLaunch => 11,
-            Stage::Transfer => 10,
-            Stage::Dispatch => 9,
-            Stage::CpuCompute => 8,
-            Stage::Preprocess => 7,
-            Stage::Postprocess => 6,
-            Stage::Batch => 5,
-            Stage::Migrate => 12,
-            Stage::NetSend => 4,
-            Stage::NetRecv => 3,
-            Stage::CacheMiss => 2,
-            Stage::CacheHit => 1,
-            Stage::CacheEvict => 0,
+            Stage::KernelLaunch => 12,
+            Stage::Transfer => 11,
+            Stage::Dispatch => 10,
+            Stage::CpuCompute => 9,
+            Stage::Preprocess => 8,
+            Stage::Postprocess => 7,
+            Stage::Batch => 6,
+            Stage::Migrate => 13,
+            Stage::NetSend => 5,
+            Stage::NetRecv => 4,
+            Stage::CacheMiss => 3,
+            Stage::CacheHit => 2,
+            Stage::CacheEvict => 1,
+            Stage::Sojourn => 0,
         }
     }
 }
@@ -191,6 +200,78 @@ pub enum Record {
     Fault(FaultEvent),
     /// A load-balancing decision (steal or repartition migration).
     Balance(BalanceEvent),
+    /// A serving-layer request outcome (completion, rejection, shed).
+    Serve(ServeEvent),
+}
+
+/// How a serving request left the system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ServeOutcome {
+    /// The request was admitted, executed, and finished.
+    Completed,
+    /// Admission control bounced the request at arrival (queue full).
+    Rejected,
+    /// The request was admitted but dropped from a queue later to make
+    /// room (load shedding).
+    Shed,
+}
+
+impl ServeOutcome {
+    /// Every outcome, in declaration order.
+    pub const ALL: [ServeOutcome; 3] = [
+        ServeOutcome::Completed,
+        ServeOutcome::Rejected,
+        ServeOutcome::Shed,
+    ];
+
+    /// Stable name used in the JSON journal and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeOutcome::Completed => "Completed",
+            ServeOutcome::Rejected => "Rejected",
+            ServeOutcome::Shed => "Shed",
+        }
+    }
+
+    /// Inverse of [`ServeOutcome::name`].
+    pub fn from_name(name: &str) -> Option<ServeOutcome> {
+        ServeOutcome::ALL.into_iter().find(|o| o.name() == name)
+    }
+}
+
+/// One serving request's journey through the online layer: when it
+/// arrived, when service started, and when (and how) it left.
+///
+/// For [`ServeOutcome::Rejected`] the request never entered a queue:
+/// `started_ns == finished_ns == arrived_ns`. For [`ServeOutcome::Shed`]
+/// `finished_ns` is the shed instant and `started_ns == arrived_ns`
+/// (service never began). Sojourn time — the latency the percentile
+/// sink aggregates — is `finished_ns - arrived_ns`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeEvent {
+    /// Tenant the request belongs to.
+    pub tenant: u32,
+    /// Operation id of the request's `TaskKind`.
+    pub op: u64,
+    /// Data-shape hash of the request's `TaskKind`.
+    pub data_hash: u64,
+    /// Apply tasks the request fans out into.
+    pub tasks: u64,
+    /// Simulated arrival instant, nanoseconds.
+    pub arrived_ns: u64,
+    /// Simulated instant service began (batch execution start).
+    pub started_ns: u64,
+    /// Simulated instant the request left the system.
+    pub finished_ns: u64,
+    /// How the request left.
+    pub outcome: ServeOutcome,
+}
+
+impl ServeEvent {
+    /// Sojourn time: queue wait + service, nanoseconds.
+    pub fn sojourn_ns(&self) -> u64 {
+        self.finished_ns.saturating_sub(self.arrived_ns)
+    }
 }
 
 /// Which dynamic-load-balancing mechanism moved work.
@@ -496,6 +577,9 @@ pub trait Recorder {
 
     /// Journals a load-balancing decision.
     fn balance_event(&mut self, ev: BalanceEvent);
+
+    /// Journals a serving-request outcome.
+    fn serve(&mut self, ev: ServeEvent);
 }
 
 /// The disabled recorder: every method is a no-op and `ENABLED = false`.
@@ -521,6 +605,8 @@ impl Recorder for NullRecorder {
     fn fault(&mut self, _: FaultEvent) {}
     #[inline(always)]
     fn balance_event(&mut self, _: BalanceEvent) {}
+    #[inline(always)]
+    fn serve(&mut self, _: ServeEvent) {}
 }
 
 /// In-memory recorder: journal in emission order + metrics registry.
@@ -574,6 +660,14 @@ impl MemRecorder {
     pub fn balance_events(&self) -> impl Iterator<Item = &BalanceEvent> {
         self.journal.iter().filter_map(|r| match r {
             Record::Balance(b) => Some(b),
+            _ => None,
+        })
+    }
+
+    /// All serving-request records, in emission order.
+    pub fn serve_events(&self) -> impl Iterator<Item = &ServeEvent> {
+        self.journal.iter().filter_map(|r| match r {
+            Record::Serve(s) => Some(s),
             _ => None,
         })
     }
@@ -637,6 +731,10 @@ impl Recorder for MemRecorder {
 
     fn balance_event(&mut self, ev: BalanceEvent) {
         self.journal.push(Record::Balance(ev));
+    }
+
+    fn serve(&mut self, ev: ServeEvent) {
+        self.journal.push(Record::Serve(ev));
     }
 }
 
@@ -776,6 +874,51 @@ mod tests {
         // Balance records never leak into the stage attribution.
         let bd = rec.breakdown(25);
         assert_eq!(bd.attributed_total_ns(), 25);
+    }
+
+    #[test]
+    fn serve_outcome_names_round_trip() {
+        for o in ServeOutcome::ALL {
+            assert_eq!(ServeOutcome::from_name(o.name()), Some(o));
+        }
+        assert_eq!(ServeOutcome::from_name("NotAnOutcome"), None);
+    }
+
+    #[test]
+    fn serve_records_interleave_and_measure_sojourn() {
+        let mut rec = MemRecorder::new();
+        rec.span(Stage::Sojourn, 100, 900, 0);
+        rec.serve(ServeEvent {
+            tenant: 1,
+            op: 0x5E12,
+            data_hash: 3,
+            tasks: 8,
+            arrived_ns: 100,
+            started_ns: 400,
+            finished_ns: 900,
+            outcome: ServeOutcome::Completed,
+        });
+        rec.serve(ServeEvent {
+            tenant: 2,
+            op: 0x5E12,
+            data_hash: 3,
+            tasks: 8,
+            arrived_ns: 150,
+            started_ns: 150,
+            finished_ns: 150,
+            outcome: ServeOutcome::Rejected,
+        });
+        let evs: Vec<_> = rec.serve_events().collect();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].sojourn_ns(), 800);
+        assert_eq!(evs[1].sojourn_ns(), 0);
+        assert_eq!(evs[1].outcome, ServeOutcome::Rejected);
+        // Sojourn spans cover the pipeline by construction; they must
+        // never win attribution from a real stage.
+        rec.span(Stage::CpuCompute, 400, 900, 0);
+        let bd = rec.breakdown(900);
+        assert_eq!(bd.stage_ns(Stage::CpuCompute), 500);
+        assert_eq!(bd.stage_ns(Stage::Sojourn), 300);
     }
 
     #[test]
