@@ -57,6 +57,29 @@ fn bench_4d_shapes(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_fallback_widths(c: &mut Criterion) {
+    // Non-specialized `dimj` widths: no const-width kernel exists for
+    // these, so they exercise the runtime-width scalar fallback the
+    // autotuned table demotes to. Keeping them benched pins the cost of
+    // falling off the specialization table (odd widths also take the
+    // j-loop's scalar tail, not the AVX lanes).
+    let mut g = c.benchmark_group("mtxmq_fallback");
+    for j in [5usize, 7, 12] {
+        let (dimi, dimj, dimk) = (j * j, j, j);
+        let a = fill(dimk * dimi, 13);
+        let b = fill(dimk * dimj, 17);
+        let mut out = vec![0.0; dimi * dimj];
+        g.throughput(Throughput::Elements(mtxmq_flops(dimi, dimj, dimk)));
+        g.bench_with_input(BenchmarkId::from_parameter(j), &j, |bench, _| {
+            bench.iter(|| {
+                mtxmq(dimi, dimj, dimk, black_box(&a), black_box(&b), &mut out);
+                black_box(out[0])
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_batch_of_60(c: &mut Criterion) {
     // Figure 5's measurement unit: 60 multiplications at k = 10.
     let k = 10usize;
@@ -80,6 +103,6 @@ fn bench_batch_of_60(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_3d_shapes, bench_4d_shapes, bench_batch_of_60
+    targets = bench_3d_shapes, bench_4d_shapes, bench_fallback_widths, bench_batch_of_60
 }
 criterion_main!(benches);

@@ -6,8 +6,8 @@
 //! ```
 
 use madness_bench::{
-    ablation, balance_report, dispatch_report, faults_report, figures, perf, serve_report, tables,
-    trace_report,
+    ablation, balance_report, dispatch_report, faults_report, figures, kernels_report, perf,
+    serve_report, tables, trace_report,
 };
 
 fn hr(title: &str) {
@@ -227,6 +227,24 @@ fn bench(write_json: bool) {
     }
 }
 
+fn kernels(write_json: bool) {
+    hr(
+        "Kernels — per-(d,k) autotuned mtxmq kernel shootout, Apply hot path\n\
+         scalar runtime-width / scalar const-width / AVX const-width /\n\
+         cache-blocked candidates, bit-identity-gated, argmin winner;\n\
+         dispatch counts from one counted Full-fidelity Apply run",
+    );
+    let r = kernels_report::kernels_table();
+    print!("{}", kernels_report::render(&r));
+    if write_json {
+        let path = std::path::Path::new("BENCH_kernels.json");
+        match std::fs::write(path, kernels_report::to_json(&r)) {
+            Ok(()) => println!("\nkernel shootout written to {}", path.display()),
+            Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+        }
+    }
+}
+
 fn dispatch() {
     hr(
         "Dispatch — adaptive dispatcher trajectory, Table I workload\n\
@@ -297,6 +315,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablations",
     "trace",
     "bench",
+    "kernels",
     "dispatch",
     "faults",
     "balance",
@@ -305,8 +324,9 @@ const EXPERIMENTS: &[&str] = &[
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    // `--json` affects `bench` (writes BENCH_apply.json), `balance`
-    // (writes BENCH_cluster.json), and `serve` (writes BENCH_serve.json).
+    // `--json` affects `bench` (writes BENCH_apply.json), `kernels`
+    // (writes BENCH_kernels.json), `balance` (writes BENCH_cluster.json),
+    // and `serve` (writes BENCH_serve.json).
     let json = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
     if let Some(bad) = args
@@ -366,6 +386,9 @@ fn main() {
     }
     if want("bench") {
         bench(json);
+    }
+    if want("kernels") {
+        kernels(json);
     }
     if want("dispatch") {
         dispatch();

@@ -20,6 +20,7 @@
 //! | Ablations  | [`ablation`] |
 //! | Trace      | [`trace_report::trace_table1`] |
 //! | Bench      | [`perf::bench_apply`] |
+//! | Kernels    | [`kernels_report::kernels_table`] |
 //! | Dispatch   | [`dispatch_report::dispatch_table1`] |
 //! | Faults     | [`faults_report::faults_table1`] |
 //! | Balance    | [`balance_report::balance_table`] |
@@ -33,6 +34,7 @@ pub mod balance_report;
 pub mod dispatch_report;
 pub mod faults_report;
 pub mod figures;
+pub mod kernels_report;
 pub mod perf;
 pub mod serve_report;
 pub mod tables;

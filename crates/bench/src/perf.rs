@@ -38,9 +38,23 @@ pub struct BenchReport {
     /// `false` means every parallel region ran inline (single-threaded) —
     /// legitimate on a 1-CPU host, a methodology bug anywhere else.
     pub executor_engaged: bool,
+    /// Parallelism the run actually had: `max(detected_cpus, workers)`.
+    /// Oversubscribed pools (e.g. `RAYON_NUM_THREADS=4` on a 1-CPU
+    /// container) count — the pipelines genuinely interleave 4 workers,
+    /// and `oversubscribed` flags the distinction honestly.
+    pub host_cpus: usize,
     /// CPUs the host advertises (`available_parallelism`), recorded so a
     /// trajectory point is interpretable without knowing the machine.
-    pub host_cpus: usize,
+    pub detected_cpus: usize,
+    /// Worker threads the executor's pool actually spawned (0 = inline).
+    pub workers: usize,
+}
+
+impl BenchReport {
+    /// True when the pool runs more workers than the host has CPUs.
+    pub fn oversubscribed(&self) -> bool {
+        self.workers > self.detected_cpus
+    }
 }
 
 fn config(resource: ApplyResource, max_batch: usize) -> ApplyConfig {
@@ -106,13 +120,16 @@ pub fn record_executor_stats(
 /// the `apply_pipeline` criterion benches) with `iters` timed iterations
 /// each.
 pub fn bench_apply(iters: u32) -> BenchReport {
-    // Force the executor's lazy pool into existence BEFORE any timing.
-    // The old flow let the first timed `par_iter` create it, so the
-    // committed trajectory point recorded `workers: 0` with every run
-    // inline — single-threaded numbers presented as pipeline timings.
-    let pool_workers = rayon::initialize();
+    // Warm everything the hot path needs BEFORE any timing: the
+    // executor's lazy pool (the old flow let the first timed `par_iter`
+    // create it, so the committed trajectory point recorded `workers: 0`
+    // with every run inline) and the autotuned kernel table (so the
+    // ~10–20 ms calibration never lands inside a timed variant).
+    madness_runtime::initialize_hot_path();
+    let pool_workers = rayon::initialize(); // idempotent; returns worker count
     let executor_engaged = pool_workers > 0;
-    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let detected_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host_cpus = detected_cpus.max(pool_workers);
     let before = rayon::executor_stats();
     let app = CoulombApp::small(4, 1e-3);
     let mut points = Vec::new();
@@ -175,6 +192,8 @@ pub fn bench_apply(iters: u32) -> BenchReport {
         recorder,
         executor_engaged,
         host_cpus,
+        detected_cpus,
+        workers: pool_workers,
     }
 }
 
@@ -209,17 +228,25 @@ pub fn render(report: &BenchReport) -> String {
     );
     let _ = writeln!(
         out,
-        "          engaged: {} ({} host CPUs)",
-        report.executor_engaged, report.host_cpus
+        "          engaged: {} ({} host CPUs = max of {} detected, {} workers{})",
+        report.executor_engaged,
+        report.host_cpus,
+        report.detected_cpus,
+        report.workers,
+        if report.oversubscribed() {
+            "; oversubscribed"
+        } else {
+            ""
+        }
     );
-    if !report.executor_engaged && report.host_cpus > 1 {
+    if !report.executor_engaged && report.detected_cpus > 1 {
         let _ = writeln!(
             out,
             "\nWARNING: the executor ran every parallel region INLINE on a \
              {}-CPU host.\nThese are single-threaded timings, not pipeline \
              timings — do not commit them.\nSet RAYON_NUM_THREADS (>= 2) or \
              call rayon::set_worker_threads before benching.",
-            report.host_cpus
+            report.detected_cpus
         );
     }
     out
@@ -229,12 +256,17 @@ pub fn render(report: &BenchReport) -> String {
 pub fn to_json(report: &BenchReport) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"madness-bench-apply-v2\",\n");
+    out.push_str("{\n  \"schema\": \"madness-bench-apply-v3\",\n");
     out.push_str("  \"workload\": \"table1-full-fidelity\",\n");
     let _ = writeln!(
         out,
-        "  \"executor_engaged\": {},\n  \"host_cpus\": {},",
-        report.executor_engaged, report.host_cpus
+        "  \"executor_engaged\": {},\n  \"host_cpus\": {},\n  \
+         \"detected_cpus\": {},\n  \"workers\": {},\n  \"oversubscribed\": {},",
+        report.executor_engaged,
+        report.host_cpus,
+        report.detected_cpus,
+        report.workers,
+        report.oversubscribed()
     );
     out.push_str("  \"results\": [\n");
     for (i, p) in report.points.iter().enumerate() {
@@ -301,9 +333,12 @@ mod tests {
         for n in names {
             assert!(json.contains(n), "missing {n} in json");
         }
-        assert!(json.contains("\"schema\": \"madness-bench-apply-v2\""));
+        assert!(json.contains("\"schema\": \"madness-bench-apply-v3\""));
         assert!(json.contains("\"executor_engaged\": "));
         assert!(json.contains("\"host_cpus\": "));
+        assert!(json.contains("\"detected_cpus\": "));
+        assert!(json.contains("\"workers\": "));
+        assert!(json.contains("\"oversubscribed\": "));
         let rendered = render(&report);
         assert!(rendered.contains("executor:"));
         assert!(rendered.contains("engaged: "));
@@ -312,6 +347,11 @@ mod tests {
         // host the executor legitimately declines a pool and the flag
         // documents it).
         assert!(report.host_cpus >= 1);
+        // host_cpus is the max of detection and pool size, so a pool
+        // spun up via RAYON_NUM_THREADS on a small container still
+        // reports the parallelism the pipelines actually ran with.
+        assert_eq!(report.host_cpus, report.detected_cpus.max(report.workers));
+        assert_eq!(report.executor_engaged, report.workers > 0);
         let m = report.recorder.metrics();
         if report.executor_engaged {
             assert!(m.counter("executor_workers") > 0);

@@ -127,6 +127,10 @@ pub fn apply_cpu_reference(op: &SeparatedConvolution, tree: &FunctionTree) -> Fu
     assert_eq!(tree.form(), TreeForm::Reconstructed, "Apply needs leaves");
     assert_eq!(tree.d(), op.d(), "operator/tree dimensionality mismatch");
     assert_eq!(tree.k(), op.k(), "operator/tree order mismatch");
+    // Same hot-path warm-up as the batched path: the reference walk and
+    // the batched variants must run on the same autotuned kernels for
+    // the speedup ratios to be kernel-for-kernel comparisons.
+    madness_runtime::initialize_hot_path();
 
     // Deterministic task order (sorted keys), parallel across sources.
     let keys = tree.sorted_keys();
@@ -213,6 +217,9 @@ pub fn apply_batched_recorded<R: Recorder>(
     assert_eq!(tree.form(), TreeForm::Reconstructed, "Apply needs leaves");
     assert_eq!(tree.d(), op.d(), "operator/tree dimensionality mismatch");
     assert_eq!(tree.k(), op.k(), "operator/tree order mismatch");
+    // Warm the executor and the autotuned mtxmq kernel table before any
+    // transform runs (one-time; no-op afterwards).
+    madness_runtime::initialize_hot_path();
     let d = op.d();
     let k = op.k();
     let kernel = config

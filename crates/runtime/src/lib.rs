@@ -40,4 +40,4 @@ pub use batcher::{Batcher, BatcherConfig, TaskKind, TenantId};
 pub use cpu::CpuModel;
 pub use dispatch::{hybrid_optimal_time, measured_split, optimal_split, SplitPlan};
 pub use op::BatchedOp;
-pub use pool::{global_pool, WorkerPool};
+pub use pool::{global_pool, initialize_hot_path, WorkerPool};

@@ -19,26 +19,40 @@
 //!   rank-reduced variant ([`mtxmq_rr`]) implementing the paper's
 //!   *rank reduction* optimization (Fig. 4);
 //! * [`transform`] — applies one `(k,k)` matrix per dimension by cycling
-//!   `mtxmq` `d` times (Formula 1 of the paper for a single rank-`μ` term);
+//!   `mtxmq` `d` times (Formula 1 of the paper for a single rank-`μ` term),
+//!   cache-blocked so large `(k^{d-1}, k)` passes stream through L2 in
+//!   row tiles;
+//! * [`kernel`] — the per-`(d, k)` autotuned kernel table: candidate span
+//!   kernels (runtime-width scalar, const-width scalar, AVX SIMD behind
+//!   the `simd` feature, cache-blocked) microbenchmarked at startup with
+//!   the winner dispatched per pass shape — all candidates bit-identical;
 //! * FLOP accounting ([`flops`]) used by the simulators' cost models.
 //!
 //! All arithmetic is deterministic `f64`; the simulated-GPU crate executes
 //! these same kernels so CPU and "GPU" results are directly comparable.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `unsafe` is forbidden everywhere except the explicitly-vectorized
+// kernels: with the `simd` feature on, `src/simd.rs` (and only that
+// module) opts back in for the AVX intrinsic loads/stores.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 // Index loops over multiple parallel arrays are the clearest idiom for
 // the numeric kernels here; the iterator rewrites clippy suggests hurt
 // readability without changing codegen.
 #![allow(clippy::needless_range_loop)]
 
 pub mod flops;
+pub mod kernel;
 pub mod mtxmq;
 pub mod shape;
+#[cfg(feature = "simd")]
+pub mod simd;
 pub mod tensor;
 pub mod transform;
 
 pub use flops::{mtxmq_flops, transform_flops};
+pub use kernel::{KernelId, KernelTable};
 pub use mtxmq::{mtxmq, mtxmq_acc, mtxmq_rr, mtxmq_rr_acc};
 pub use shape::Shape;
 pub use tensor::Tensor;

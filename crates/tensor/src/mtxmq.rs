@@ -43,67 +43,16 @@ pub fn mtxmq_acc(dimi: usize, dimj: usize, dimk: usize, a: &[f64], b: &[f64], c:
 }
 
 /// Shared inner kernel: `C(i,j) += Σ_{k < kr} A(k,i)·B(k,j)` with the
-/// length asserts already done by the caller. Dispatches to a
-/// width-specialized loop for the `k` values the paper's workloads use —
-/// at k ≤ 20 the products are so small that a runtime-width inner loop
-/// is bounds-check/branch bound, and a compile-time width more than
-/// doubles throughput. Every path performs the identical operations in
+/// length asserts already done by the caller. The kernel choice — the
+/// runtime-width scalar loop, a width-specialized const loop, the AVX
+/// loop (feature `simd`), or the cache-blocked loop — comes from the
+/// autotuned [`crate::kernel`] table (heuristic fallback when no table
+/// is installed). Every candidate performs the identical operations in
 /// the identical order, so results are bit-identical across them.
 #[inline]
 fn mtxmq_acc_rows(dimi: usize, dimj: usize, kr: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
-    match dimj {
-        4 => return mtxmq_acc_w::<4>(dimi, dimi * dimj, kr, a, b, c),
-        6 => return mtxmq_acc_w::<6>(dimi, dimi * dimj, kr, a, b, c),
-        8 => return mtxmq_acc_w::<8>(dimi, dimi * dimj, kr, a, b, c),
-        10 => return mtxmq_acc_w::<10>(dimi, dimi * dimj, kr, a, b, c),
-        14 => return mtxmq_acc_w::<14>(dimi, dimi * dimj, kr, a, b, c),
-        20 => return mtxmq_acc_w::<20>(dimi, dimi * dimj, kr, a, b, c),
-        _ => {}
-    }
-    // i-k-j order: for each output row i, stream rows of B into row i of C.
-    // The inner j-loop is over contiguous memory in both b and c, which
-    // autovectorizes well; a[k*dimi + i] is a strided broadcast.
-    for i in 0..dimi {
-        let crow = &mut c[i * dimj..(i + 1) * dimj];
-        for k in 0..kr {
-            let aki = a[k * dimi + i];
-            if aki == 0.0 {
-                continue;
-            }
-            let brow = &b[k * dimj..(k + 1) * dimj];
-            for (cj, bj) in crow.iter_mut().zip(brow) {
-                *cj += aki * bj;
-            }
-        }
-    }
-}
-
-/// Width-`W` specialization: fixed-size row views let the compiler elide
-/// every bounds check and fully unroll/vectorize the inner loop.
-/// `clen = dimi * W` bounds the row range so the `try_into` never fails.
-#[inline]
-fn mtxmq_acc_w<const W: usize>(
-    dimi: usize,
-    clen: usize,
-    kr: usize,
-    a: &[f64],
-    b: &[f64],
-    c: &mut [f64],
-) {
-    debug_assert_eq!(c.len(), clen);
-    for i in 0..dimi {
-        let crow: &mut [f64; W] = (&mut c[i * W..i * W + W]).try_into().expect("row width");
-        for k in 0..kr {
-            let aki = a[k * dimi + i];
-            if aki == 0.0 {
-                continue;
-            }
-            let brow: &[f64; W] = (&b[k * W..k * W + W]).try_into().expect("row width");
-            for j in 0..W {
-                crow[j] += aki * brow[j];
-            }
-        }
-    }
+    let id = crate::kernel::select(dimi, dimj);
+    crate::kernel::run_span(id, dimi, 0, dimi, dimj, kr, a, b, c);
 }
 
 /// Rank-reduced `mtxmq`: `C(i,j) = Σ_{k < kr} A(k,i)·B(k,j)`.

@@ -1,0 +1,151 @@
+//! Explicit AVX vectorization of the `mtxmq` span kernel (feature
+//! `simd`, x86_64 only, runtime-detected).
+//!
+//! The kernel keeps row `i` of `C` in vector registers across the whole
+//! `k` loop and performs, per element, exactly the scalar loop's
+//! `c[j] += a[k*dimi+i] * b[k*dimj+j]` — one IEEE multiply followed by
+//! one IEEE add, `k` ascending, with the same skip of `a(k,i) == 0.0`
+//! rows. FMA is deliberately **not** used: a fused multiply-add rounds
+//! once where the scalar loop rounds twice, and the kernel-table
+//! contract is that every candidate is bit-identical to the scalar
+//! reference. Vectorizing across `j` does not reorder any element's
+//! accumulation chain, so the results match the scalar kernels bit for
+//! bit — including signed zeros, infinities and NaNs (a zero `a(k,i)`
+//! is skipped before any lane touches `b`, same as the scalar loops).
+//!
+//! This module is the only place in the crate allowed to use `unsafe`
+//! (raw-pointer loads/stores for the unaligned vector accesses); the
+//! crate root keeps `forbid(unsafe_code)` whenever the feature is off.
+#![allow(unsafe_code)]
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    use core::arch::x86_64::{
+        __m128d, __m256d, _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd,
+        _mm256_setzero_pd, _mm256_storeu_pd, _mm_add_pd, _mm_loadu_pd, _mm_mul_pd, _mm_set1_pd,
+        _mm_setzero_pd, _mm_storeu_pd,
+    };
+    use std::sync::OnceLock;
+
+    /// Whether the host can run the AVX kernel (cached after first call).
+    pub fn available() -> bool {
+        static AVX: OnceLock<bool> = OnceLock::new();
+        *AVX.get_or_init(|| std::arch::is_x86_feature_detected!("avx"))
+    }
+
+    /// AVX span body for a specialized width `W` (a multiple of 4, or a
+    /// multiple of 4 plus a 2-lane tail: 4, 6, 8, 10, 14, 20). Row `i`
+    /// of `C` lives in `W/4` 256-bit accumulators (plus one 128-bit
+    /// tail when `W % 4 == 2`) for the whole `k` loop.
+    ///
+    /// Safety: caller must guarantee AVX is available, `a` covers
+    /// `kr * dimi` elements starting at the pass base, `b` covers
+    /// `kr * W`, and `c` covers `(i1 - i0) * W`.
+    #[target_feature(enable = "avx")]
+    unsafe fn span_body<const W: usize>(
+        dimi: usize,
+        i0: usize,
+        i1: usize,
+        kr: usize,
+        a: *const f64,
+        b: *const f64,
+        c: *mut f64,
+    ) {
+        const FULL_MAX: usize = 5; // 20 / 4
+        let full = W / 4;
+        let tail2 = W % 4 == 2;
+        debug_assert!(full <= FULL_MAX && (W.is_multiple_of(4) || tail2));
+        for i in i0..i1 {
+            let crow = unsafe { c.add((i - i0) * W) };
+            // Load row i of C once, accumulate in registers, store once.
+            let mut acc: [__m256d; FULL_MAX] = [_mm256_setzero_pd(); FULL_MAX];
+            for (v, accv) in acc.iter_mut().enumerate().take(full) {
+                *accv = unsafe { _mm256_loadu_pd(crow.add(4 * v)) };
+            }
+            let mut tac: __m128d = _mm_setzero_pd();
+            if tail2 {
+                tac = unsafe { _mm_loadu_pd(crow.add(4 * full)) };
+            }
+            let mut ap = unsafe { a.add(i) };
+            let mut bp = b;
+            for _ in 0..kr {
+                let aki = unsafe { *ap };
+                // Same sparsity skip as the scalar loops: a zero
+                // coefficient contributes nothing and must not turn a
+                // NaN/∞ in b into a NaN in c.
+                if aki != 0.0 {
+                    let va = _mm256_set1_pd(aki);
+                    for (v, accv) in acc.iter_mut().enumerate().take(full) {
+                        let vb = unsafe { _mm256_loadu_pd(bp.add(4 * v)) };
+                        *accv = _mm256_add_pd(*accv, _mm256_mul_pd(va, vb));
+                    }
+                    if tail2 {
+                        let vb = unsafe { _mm_loadu_pd(bp.add(4 * full)) };
+                        tac = _mm_add_pd(tac, _mm_mul_pd(_mm_set1_pd(aki), vb));
+                    }
+                }
+                ap = unsafe { ap.add(dimi) };
+                bp = unsafe { bp.add(W) };
+            }
+            for (v, accv) in acc.iter().enumerate().take(full) {
+                unsafe { _mm256_storeu_pd(crow.add(4 * v), *accv) };
+            }
+            if tail2 {
+                unsafe { _mm_storeu_pd(crow.add(4 * full), tac) };
+            }
+        }
+    }
+
+    /// Safe wrapper: accumulate rows `i0..i1` of the pass into `c`
+    /// (which covers exactly those rows, `(i1-i0) * W` elements).
+    /// Returns `false` if AVX is unavailable so the caller can fall
+    /// back to a scalar kernel.
+    pub fn span_w<const W: usize>(
+        dimi: usize,
+        i0: usize,
+        i1: usize,
+        kr: usize,
+        a: &[f64],
+        b: &[f64],
+        c: &mut [f64],
+    ) -> bool {
+        if !available() {
+            return false;
+        }
+        assert!(W >= 4 && W <= 20 && W % 4 != 1 && W % 4 != 3);
+        assert!(i0 <= i1 && i1 <= dimi);
+        assert!(a.len() >= kr * dimi);
+        assert!(b.len() >= kr * W);
+        assert_eq!(c.len(), (i1 - i0) * W);
+        if kr == 0 || i0 == i1 {
+            return true;
+        }
+        // Safety: AVX checked above; slice lengths checked above cover
+        // every pointer offset span_body touches.
+        unsafe { span_body::<W>(dimi, i0, i1, kr, a.as_ptr(), b.as_ptr(), c.as_mut_ptr()) };
+        true
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+mod imp {
+    /// No SIMD kernel on this architecture.
+    pub fn available() -> bool {
+        false
+    }
+
+    /// Always `false`: the caller falls back to a scalar kernel.
+    pub fn span_w<const W: usize>(
+        _dimi: usize,
+        _i0: usize,
+        _i1: usize,
+        _kr: usize,
+        _a: &[f64],
+        _b: &[f64],
+        _c: &mut [f64],
+    ) -> bool {
+        false
+    }
+}
+
+pub use imp::{available, span_w};

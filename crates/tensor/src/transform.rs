@@ -13,7 +13,8 @@
 //! axis order. Each pass is exactly one of the paper's
 //! `(k^{d-1}, k) × (k, k)` multiplications.
 
-use crate::mtxmq::{mtxmq, mtxmq_acc, mtxmq_rr, mtxmq_rr_acc};
+use crate::kernel;
+use crate::mtxmq::mtxmq;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 use std::cell::RefCell;
@@ -296,11 +297,27 @@ fn pipeline(
         } else {
             dst
         };
-        match (kr, last && accumulate) {
-            (None, false) => mtxmq(dimi, dimj, dimk, src, h.as_slice(), target),
-            (None, true) => mtxmq_acc(dimi, dimj, dimk, src, h.as_slice(), target),
-            (Some(kr), false) => mtxmq_rr(dimi, dimj, dimk, kr, src, h.as_slice(), target),
-            (Some(kr), true) => mtxmq_rr_acc(dimi, dimj, dimk, kr, src, h.as_slice(), target),
+        // Tiled dispatch through the autotuned kernel table: the pass's
+        // rows stream through cache-sized tiles (one tile = the whole
+        // pass for small shapes), each served by the table's per-shape
+        // winner. Tiles run in row order and every candidate preserves
+        // the per-element k-ascending accumulation chain, so the result
+        // is bit-identical to a single untiled pass — and to every
+        // other candidate.
+        let acc_pass = last && accumulate;
+        let kr_eff = kr.unwrap_or(dimk);
+        let id = kernel::select(dimi, dimj);
+        let tile = kernel::pass_tile_rows(dimi, dimj, kr_eff);
+        let hmat = h.as_slice();
+        let mut i0 = 0;
+        while i0 < dimi {
+            let i1 = (i0 + tile).min(dimi);
+            let span = &mut target[i0 * dimj..i1 * dimj];
+            if !acc_pass {
+                span.fill(0.0);
+            }
+            kernel::run_span(id, dimi, i0, i1, dimj, kr_eff, src, hmat, span);
+            i0 = i1;
         }
 
         // Rotate: leading dim contracted away, output dim appended.

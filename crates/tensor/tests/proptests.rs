@@ -339,3 +339,145 @@ mod workspace {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Kernel candidates (the autotuned per-(d,k) table)
+// ---------------------------------------------------------------------------
+
+mod kernels {
+    use madness_tensor::kernel::{self, KernelId};
+    use proptest::prelude::*;
+
+    /// Calibration-style deterministic fill with exact zeros sprinkled
+    /// in, so the `aki == 0.0` skip path is exercised.
+    fn det_fill(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if state % 31 == 0 {
+                    0.0
+                } else {
+                    ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+                }
+            })
+            .collect()
+    }
+
+    fn full_pass(
+        id: KernelId,
+        dimi: usize,
+        dimj: usize,
+        kr: usize,
+        a: &[f64],
+        b: &[f64],
+    ) -> Vec<f64> {
+        let mut c = vec![0.0; dimi * dimj];
+        kernel::run_span(id, dimi, 0, dimi, dimj, kr, a, b, &mut c);
+        c
+    }
+
+    fn bits_equal(x: &[f64], y: &[f64]) -> bool {
+        x.len() == y.len() && x.iter().zip(y).all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Every available candidate (scalar const-width, AVX, blocked)
+        /// is **bit-identical** to the scalar runtime-width reference on
+        /// every Table I `(d, k)` pass shape, including rank-reduced
+        /// contractions — the table can swap kernels without perturbing
+        /// a single bit of any determinism pin.
+        #[test]
+        fn candidates_bit_identical_on_table1_shapes(
+            shape_ix in 0usize..kernel::DEFAULT_SHAPES.len(),
+            frac in 0.0f64..1.0,
+            seed in any::<u64>(),
+        ) {
+            let (d, k) = kernel::DEFAULT_SHAPES[shape_ix];
+            let dimi = k.pow(d as u32 - 1);
+            let (dimj, dimk) = (k, k);
+            let kr = ((dimk as f64 * frac) as usize).min(dimk);
+            let a = det_fill(dimk * dimi, seed);
+            let b = det_fill(dimk * dimj, seed ^ 0xB0B);
+            let want = full_pass(KernelId::ScalarRuntime, dimi, dimj, kr, &a, &b);
+            for id in KernelId::ALL {
+                if kernel::candidate_available(id, dimj) {
+                    let got = full_pass(id, dimi, dimj, kr, &a, &b);
+                    prop_assert!(
+                        bits_equal(&got, &want),
+                        "kernel {} diverged from scalar on d={} k={} kr={}",
+                        id.name(), d, k, kr
+                    );
+                }
+            }
+        }
+
+        /// Running a pass as consecutive row spans (any tile size, not
+        /// just `pass_tile_rows`) composes bit-identically to the
+        /// one-shot full pass, for every candidate.
+        #[test]
+        fn tiled_spans_compose_bit_identically(
+            dimi in 1usize..48,
+            dimj in 1usize..21,
+            dimk in 1usize..12,
+            tile in 1usize..9,
+            seed in any::<u64>(),
+        ) {
+            let a = det_fill(dimk * dimi, seed);
+            let b = det_fill(dimk * dimj, seed ^ 0xF00D);
+            for id in KernelId::ALL {
+                if kernel::candidate_available(id, dimj) {
+                    let want = full_pass(id, dimi, dimj, dimk, &a, &b);
+                    let mut c = vec![0.0; dimi * dimj];
+                    let mut i0 = 0;
+                    while i0 < dimi {
+                        let i1 = (i0 + tile).min(dimi);
+                        kernel::run_span(
+                            id, dimi, i0, i1, dimj, dimk,
+                            &a, &b, &mut c[i0 * dimj..i1 * dimj],
+                        );
+                        i0 = i1;
+                    }
+                    prop_assert!(
+                        bits_equal(&c, &want),
+                        "kernel {} tiled pass (tile={}) diverged at {}x{}x{}",
+                        id.name(), tile, dimi, dimj, dimk
+                    );
+                }
+            }
+        }
+
+        /// The AVX kernel agrees bit-for-bit with both scalar variants on
+        /// every specialized width, for arbitrary (non-square) row and
+        /// contraction extents. Vacuous on non-AVX hosts or scalar-only
+        /// builds, where `candidate_available` reports the AVX kernel out.
+        #[test]
+        fn simd_matches_scalar_on_specialized_widths(
+            w_ix in 0usize..kernel::SPECIALIZED_WIDTHS.len(),
+            dimi in 1usize..64,
+            dimk in 1usize..16,
+            seed in any::<u64>(),
+        ) {
+            let dimj = kernel::SPECIALIZED_WIDTHS[w_ix];
+            if kernel::candidate_available(KernelId::SimdConst, dimj) {
+                let a = det_fill(dimk * dimi, seed);
+                let b = det_fill(dimk * dimj, seed ^ 0xCAFE);
+                let scalar = full_pass(KernelId::ScalarRuntime, dimi, dimj, dimk, &a, &b);
+                let scalar_const = full_pass(KernelId::ScalarConst, dimi, dimj, dimk, &a, &b);
+                let simd = full_pass(KernelId::SimdConst, dimi, dimj, dimk, &a, &b);
+                prop_assert!(
+                    bits_equal(&simd, &scalar),
+                    "AVX kernel diverged from scalar-runtime at {}x{}x{}", dimi, dimj, dimk
+                );
+                prop_assert!(
+                    bits_equal(&simd, &scalar_const),
+                    "AVX kernel diverged from scalar-const at {}x{}x{}", dimi, dimj, dimk
+                );
+            }
+        }
+    }
+}
