@@ -6,8 +6,8 @@
 //! ```
 
 use madness_bench::{
-    ablation, balance_report, dispatch_report, faults_report, figures, kernels_report, perf,
-    serve_report, tables, trace_report,
+    ablation, balance_report, dag_report, dispatch_report, faults_report, figures, kernels_report,
+    perf, serve_report, tables, trace_report,
 };
 
 fn hr(title: &str) {
@@ -302,6 +302,24 @@ fn serve(write_json: bool) {
     }
 }
 
+fn dag(write_json: bool) {
+    hr(
+        "Dag — chained-operator futures DAG, SCF + BSH-chain workloads, 2 nodes\n\
+         completion-triggered dataflow vs the barrier-stepped baseline;\n\
+         sweep-line inter-stage overlap, seeded fault retry/quarantine,\n\
+         bit-identical replay pins on report and trace journal",
+    );
+    let r = dag_report::dag_table();
+    print!("{}", dag_report::render(&r));
+    if write_json {
+        let path = std::path::Path::new("BENCH_dag.json");
+        match std::fs::write(path, dag_report::to_json(&r)) {
+            Ok(()) => println!("\ndag trajectory point written to {}", path.display()),
+            Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+        }
+    }
+}
+
 const EXPERIMENTS: &[&str] = &[
     "table1",
     "table2",
@@ -320,13 +338,14 @@ const EXPERIMENTS: &[&str] = &[
     "faults",
     "balance",
     "serve",
+    "dag",
 ];
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // `--json` affects `bench` (writes BENCH_apply.json), `kernels`
     // (writes BENCH_kernels.json), `balance` (writes BENCH_cluster.json),
-    // and `serve` (writes BENCH_serve.json).
+    // `serve` (writes BENCH_serve.json), and `dag` (writes BENCH_dag.json).
     let json = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
     if let Some(bad) = args
@@ -401,5 +420,8 @@ fn main() {
     }
     if want("serve") {
         serve(json);
+    }
+    if want("dag") {
+        dag(json);
     }
 }

@@ -1,0 +1,382 @@
+//! The `tablegen dag` report: chained-operator workloads through the
+//! DAG scheduler, dataflow vs. the barrier-synchronized baseline.
+//!
+//! The pinned workload is the two chained scenarios of `madness-core`
+//! — a 3-orbital SCF fixed point and a 3-lane BSH operator chain —
+//! lowered to timing-only [`DagWorkload`]s (costs from the real trees'
+//! sizes and operator ranks) and executed on 2 calibrated nodes. The
+//! matrix runs each scenario in [`DagMode::Dataflow`] and
+//! [`DagMode::Barrier`], plus a faulted dataflow row; the gates CI
+//! pins:
+//!
+//! * `overlap_positive` — every dataflow row shows nonzero inter-stage
+//!   overlap, every barrier row shows exactly zero (the sweep-line
+//!   metric is what the paper's asynchrony argument is about);
+//! * `dataflow_not_slower` — removing the barrier never lengthens the
+//!   makespan;
+//! * `replay_identical` / `faulted_replay_identical` — re-running with
+//!   the same seed reproduces the report and the trace journal
+//!   byte-for-byte, fault injection included;
+//! * `faults_absorbed` — the faulted row injects failures, retries or
+//!   quarantines every one of them, and still completes the graph
+//!   (chained tasks never deadlock on a failed predecessor).
+
+use madness_cluster::dag::{run_dag, DagFaultSpec, DagMode, DagRunReport, DagWorkload};
+use madness_cluster::network::NetworkModel;
+use madness_cluster::node::{NodeParams, NodeRate, NodeSim, ResourceMode};
+use madness_cluster::workload::WorkloadSpec;
+use madness_core::{BshChainApp, BshChainConfig, ScfApp, ScfConfig};
+use madness_faults::{FaultPlan, RecoveryPolicy};
+use madness_gpusim::{KernelKind, SimTime};
+use madness_trace::{MemRecorder, NullRecorder};
+
+/// Nodes in the pinned cluster.
+pub const NODES: usize = 2;
+
+/// One `(scenario, mode)` outcome of the DAG matrix.
+#[derive(Clone, Debug)]
+pub struct DagRow {
+    /// Scenario label (`scf` / `bsh-chain`).
+    pub scenario: &'static str,
+    /// Mode label (`dataflow` / `barrier` / `dataflow+faults`).
+    pub mode: &'static str,
+    /// The full execution outcome.
+    pub report: DagRunReport,
+}
+
+/// The `tablegen dag` report.
+#[derive(Clone, Debug)]
+pub struct DagBenchReport {
+    /// Nodes in the simulated cluster.
+    pub nodes: usize,
+    /// Calibrated per-task rate used by every row.
+    pub per_task_ns: u64,
+    /// One row per `(scenario, mode)`.
+    pub rows: Vec<DagRow>,
+    /// Fault-free dataflow rows replayed bit-identically (report and
+    /// trace journal JSON).
+    pub replay_identical: bool,
+    /// The faulted dataflow row replayed bit-identically too.
+    pub faulted_replay_identical: bool,
+}
+
+impl DagBenchReport {
+    fn row(&self, scenario: &str, mode: &str) -> &DagRow {
+        self.rows
+            .iter()
+            .find(|r| r.scenario == scenario && r.mode == mode)
+            .expect("matrix is fixed")
+    }
+
+    /// The headline contract: dataflow overlaps stages, barriers don't.
+    pub fn overlap_positive(&self) -> bool {
+        self.rows.iter().all(|r| {
+            if r.mode == "barrier" {
+                r.report.overlap_ns == 0
+            } else {
+                r.report.overlap_ns > 0
+            }
+        })
+    }
+
+    /// Removing the barrier never lengthens the makespan.
+    pub fn dataflow_not_slower(&self) -> bool {
+        ["scf", "bsh-chain"].iter().all(|s| {
+            self.row(s, "dataflow").report.makespan <= self.row(s, "barrier").report.makespan
+        })
+    }
+
+    /// Busy time, critical path and fault accounting are consistent in
+    /// every row.
+    pub fn conserved(&self) -> bool {
+        self.rows.iter().all(|r| r.report.conserved(self.nodes))
+    }
+
+    /// The faulted row injected failures, accounted every one as a
+    /// retry or a quarantine, and the graph still completed.
+    pub fn faults_absorbed(&self) -> bool {
+        let f = &self.row("scf", "dataflow+faults").report;
+        f.injected > 0
+            && f.injected == f.retries + f.quarantines
+            && f.tasks == self.row("scf", "dataflow").report.tasks
+            && f.makespan >= self.row("scf", "dataflow").report.makespan
+    }
+}
+
+fn spec(k: usize, rank: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        d: 3,
+        k,
+        rank,
+        rr_mean_rank: None,
+    }
+}
+
+fn hybrid() -> ResourceMode {
+    ResourceMode::Hybrid {
+        compute_threads: 10,
+        data_threads: 5,
+        streams: 5,
+        kernel: KernelKind::CustomMtxmq,
+    }
+}
+
+fn faults() -> DagFaultSpec {
+    DagFaultSpec {
+        seed: 0xDA6_0001,
+        fail_rate: 0.08,
+        backoff: SimTime::from_micros(50),
+        max_retries: 2,
+    }
+}
+
+/// Calibrates the affine node rate both scenarios share.
+pub fn pinned_rate(k: usize, rank: usize) -> NodeRate {
+    NodeSim::new(NodeParams::default()).calibrate(
+        &spec(k, rank),
+        hybrid(),
+        &FaultPlan::none(),
+        RecoveryPolicy::default(),
+    )
+}
+
+fn run_pair(
+    w: &DagWorkload,
+    scenario: &'static str,
+    rate: NodeRate,
+    net: &NetworkModel,
+    rows: &mut Vec<DagRow>,
+) -> bool {
+    let mut rec_a = MemRecorder::new();
+    let a = run_dag(
+        w,
+        NODES,
+        rate,
+        net,
+        DagMode::Dataflow,
+        &DagFaultSpec::none(),
+        &mut rec_a,
+    );
+    let mut rec_b = MemRecorder::new();
+    let b = run_dag(
+        w,
+        NODES,
+        rate,
+        net,
+        DagMode::Dataflow,
+        &DagFaultSpec::none(),
+        &mut rec_b,
+    );
+    let replay = a == b && rec_a.to_json() == rec_b.to_json();
+    rows.push(DagRow {
+        scenario,
+        mode: "dataflow",
+        report: a,
+    });
+    rows.push(DagRow {
+        scenario,
+        mode: "barrier",
+        report: run_dag(
+            w,
+            NODES,
+            rate,
+            net,
+            DagMode::Barrier,
+            &DagFaultSpec::none(),
+            &mut NullRecorder,
+        ),
+    });
+    replay
+}
+
+/// Runs the pinned scenario × mode matrix and the replay pins.
+pub fn dag_table() -> DagBenchReport {
+    let scf = ScfApp::small(ScfConfig {
+        orbitals: 3,
+        ..ScfConfig::default()
+    });
+    let bsh = BshChainApp::small(BshChainConfig {
+        lanes: 3,
+        ..BshChainConfig::default()
+    });
+    let rate = pinned_rate(scf.cfg.k, scf.op.rank());
+    let net = NetworkModel::default();
+
+    let mut rows = Vec::new();
+    let scf_w = scf.dag_workload();
+    let bsh_w = bsh.dag_workload();
+    let r1 = run_pair(&scf_w, "scf", rate, &net, &mut rows);
+    let r2 = run_pair(&bsh_w, "bsh-chain", rate, &net, &mut rows);
+
+    // The faulted dataflow row (the CI chaos gate) + its replay pin.
+    let mut rec_a = MemRecorder::new();
+    let fa = run_dag(
+        &scf_w,
+        NODES,
+        rate,
+        &net,
+        DagMode::Dataflow,
+        &faults(),
+        &mut rec_a,
+    );
+    let mut rec_b = MemRecorder::new();
+    let fb = run_dag(
+        &scf_w,
+        NODES,
+        rate,
+        &net,
+        DagMode::Dataflow,
+        &faults(),
+        &mut rec_b,
+    );
+    let faulted_replay_identical = fa == fb && rec_a.to_json() == rec_b.to_json();
+    rows.push(DagRow {
+        scenario: "scf",
+        mode: "dataflow+faults",
+        report: fa,
+    });
+
+    DagBenchReport {
+        nodes: NODES,
+        per_task_ns: rate.per_task.as_nanos(),
+        rows,
+        replay_identical: r1 && r2,
+        faulted_replay_identical,
+    }
+}
+
+fn ms(t: SimTime) -> f64 {
+    t.as_secs_f64() * 1e3
+}
+
+/// Renders the table `tablegen dag` prints.
+pub fn render(r: &DagBenchReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<11}{:<17}{:>7}{:>13}{:>13}{:>13}{:>9}{:>7}",
+        "scenario",
+        "mode",
+        "tasks",
+        "makespan(ms)",
+        "critpath(ms)",
+        "overlap(ms)",
+        "inject",
+        "retry"
+    );
+    for row in &r.rows {
+        let rep = &row.report;
+        let _ = writeln!(
+            out,
+            "{:<11}{:<17}{:>7}{:>13.3}{:>13.3}{:>13.3}{:>9}{:>7}",
+            row.scenario,
+            row.mode,
+            rep.tasks,
+            ms(rep.makespan),
+            ms(rep.critical_path),
+            rep.overlap_ns as f64 / 1e6,
+            rep.injected,
+            rep.retries + rep.quarantines,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n{} nodes, {} ns/task calibrated",
+        r.nodes, r.per_task_ns
+    );
+    let _ = writeln!(
+        out,
+        "overlap_positive: {}; dataflow_not_slower: {}; conserved: {}; \
+         replay_identical: {}; faulted_replay_identical: {}; faults_absorbed: {}",
+        r.overlap_positive(),
+        r.dataflow_not_slower(),
+        r.conserved(),
+        r.replay_identical,
+        r.faulted_replay_identical,
+        r.faults_absorbed()
+    );
+    out
+}
+
+/// Serializes the report as the `BENCH_dag.json` trajectory point.
+pub fn to_json(r: &DagBenchReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"madness-bench-dag-v1\",\n");
+    out.push_str("  \"workload\": \"scf3+bshchain3-2node\",\n");
+    let _ = writeln!(
+        out,
+        "  \"nodes\": {},\n  \"per_task_ns\": {},",
+        r.nodes, r.per_task_ns
+    );
+    let _ = writeln!(
+        out,
+        "  \"overlap_positive\": {},\n  \"dataflow_not_slower\": {},\n  \
+         \"conserved\": {},\n  \"replay_identical\": {},\n  \
+         \"faulted_replay_identical\": {},\n  \"faults_absorbed\": {},",
+        r.overlap_positive(),
+        r.dataflow_not_slower(),
+        r.conserved(),
+        r.replay_identical,
+        r.faulted_replay_identical,
+        r.faults_absorbed()
+    );
+    out.push_str("  \"results\": [\n");
+    for (i, row) in r.rows.iter().enumerate() {
+        let rep = &row.report;
+        let comma = if i + 1 < r.rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"scenario\": \"{}\", \"mode\": \"{}\", \"tasks\": {}, \
+             \"makespan_ns\": {}, \"critical_path_ns\": {}, \"overlap_ns\": {}, \
+             \"busy_ns\": {}, \"injected\": {}, \"retries\": {}, \
+             \"quarantines\": {}}}{comma}",
+            row.scenario,
+            row.mode,
+            rep.tasks,
+            rep.makespan.as_nanos(),
+            rep.critical_path.as_nanos(),
+            rep.overlap_ns,
+            rep.busy_ns,
+            rep.injected,
+            rep.retries,
+            rep.quarantines,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_matrix_meets_the_acceptance_bars() {
+        let r = dag_table();
+        assert_eq!(r.rows.len(), 5);
+        assert!(r.overlap_positive(), "rows: {:#?}", r.rows);
+        assert!(r.dataflow_not_slower(), "rows: {:#?}", r.rows);
+        assert!(r.conserved());
+        assert!(r.replay_identical);
+        assert!(r.faulted_replay_identical);
+        assert!(r.faults_absorbed(), "rows: {:#?}", r.rows);
+    }
+
+    #[test]
+    fn json_carries_the_ci_gate_fields() {
+        let r = dag_table();
+        let json = to_json(&r);
+        assert!(json.contains("\"schema\": \"madness-bench-dag-v1\""));
+        assert!(json.contains("\"overlap_positive\": true"));
+        assert!(json.contains("\"dataflow_not_slower\": true"));
+        assert!(json.contains("\"replay_identical\": true"));
+        assert!(json.contains("\"faulted_replay_identical\": true"));
+        assert!(json.contains("\"faults_absorbed\": true"));
+        assert!(json.contains("\"mode\": \"dataflow+faults\""));
+        let rendered = render(&r);
+        assert!(rendered.contains("overlap_positive: true"));
+        assert!(rendered.contains("faults_absorbed: true"));
+    }
+}

@@ -25,12 +25,14 @@
 //! | Faults     | [`faults_report::faults_table1`] |
 //! | Balance    | [`balance_report::balance_table`] |
 //! | Serve      | [`serve_report::serve_table`] |
+//! | Dag        | [`dag_report::dag_table`] |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod ablation;
 pub mod balance_report;
+pub mod dag_report;
 pub mod dispatch_report;
 pub mod faults_report;
 pub mod figures;

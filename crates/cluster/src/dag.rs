@@ -1,0 +1,670 @@
+//! DAG-aware node execution: chained-operator workloads on the cluster.
+//!
+//! The batching pipeline of [`crate::node`] schedules one *flat* bag of
+//! Apply tasks. Real MADNESS applications chain operators — an SCF
+//! iteration applies the BSH Green's function, mixes, checks
+//! convergence, and applies again — through a futures DAG with **no
+//! global barrier between stages** (Harrison et al., arXiv:1507.01888).
+//! This module executes such a [`DagWorkload`] on `N` simulated nodes
+//! two ways:
+//!
+//! * [`DagMode::Dataflow`] — a task starts as soon as its predecessors
+//!   have finished (plus a network hop when a value crosses nodes) and
+//!   its chain's node is free; stages of different chains overlap
+//!   freely, which is exactly the inter-stage overlap the trace
+//!   sweep-line ([`madness_trace::stage_overlap_ns`]) measures;
+//! * [`DagMode::Barrier`] — the bulk-synchronous baseline: tasks of
+//!   global step `s` may not start until *every* task of step `s-1`
+//!   has finished anywhere in the cluster. One stage runs at a time,
+//!   so the overlap metric is zero by construction.
+//!
+//! Everything is simulated time on a calibrated [`NodeRate`] (the same
+//! affine node model the serve/balance DES uses), so both modes — and
+//! the seeded fault injection, which retries a failed attempt after a
+//! backoff and quarantines a task's node assignment after repeated
+//! failures — are bit-identical across runs with the same seed.
+
+use crate::network::NetworkModel;
+use crate::node::NodeRate;
+use madness_gpusim::SimTime;
+use madness_trace::{stage_overlap_ns, FaultAction, FaultEvent, FaultKind, Recorder, Span, Stage};
+
+/// Deterministic uniform draw in `[0, 1)` (stateless splitmix64, the
+/// same construction the serving layer uses).
+fn draw(seed: u64, salt: u64, index: u64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(salt.rotate_left(17))
+        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+const SALT_FAIL: u64 = 0xDA6_FA11;
+
+/// Bytes a chained value puts on the wire per unit of task cost when a
+/// dependency crosses nodes (one coefficient block's worth).
+const BYTES_PER_COST: u64 = 4096;
+
+/// One task of a chained-operator workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DagTask {
+    /// Which operator chain (SCF orbital, BSH source) the task belongs
+    /// to; chains are pinned to node `chain % nodes`.
+    pub chain: u32,
+    /// Global step index (iteration × phases + phase) — only consulted
+    /// by the barrier baseline, which synchronizes between steps.
+    pub step: u32,
+    /// Pipeline stage the task's span is journaled as.
+    pub stage: Stage,
+    /// Work units; the task busies its node for `per_task × cost`.
+    pub cost: u64,
+    /// Indices of earlier tasks whose values this task consumes.
+    pub deps: Vec<usize>,
+}
+
+/// A chained-operator workload: tasks plus dependency edges, acyclic by
+/// construction (a task may only depend on previously pushed tasks).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DagWorkload {
+    tasks: Vec<DagTask>,
+}
+
+impl DagWorkload {
+    /// An empty workload.
+    pub fn new() -> Self {
+        DagWorkload::default()
+    }
+
+    /// Appends a task and returns its index.
+    ///
+    /// # Panics
+    /// Panics if a dependency does not name an earlier task, or if a
+    /// dependency's `step` is not strictly smaller when the task
+    /// changes step (the barrier baseline needs steps to be a valid
+    /// stratification of the edges).
+    pub fn push(&mut self, task: DagTask) -> usize {
+        let id = self.tasks.len();
+        for &d in &task.deps {
+            assert!(d < id, "dependency {d} does not name an earlier task");
+            assert!(
+                self.tasks[d].step < task.step,
+                "dependency {d} (step {}) not in an earlier step than {} (step {})",
+                self.tasks[d].step,
+                id,
+                task.step
+            );
+        }
+        self.tasks.push(task);
+        id
+    }
+
+    /// The tasks, in push (topological) order.
+    pub fn tasks(&self) -> &[DagTask] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the workload has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total dependency edges.
+    pub fn edges(&self) -> usize {
+        self.tasks.iter().map(|t| t.deps.len()).sum()
+    }
+
+    /// Number of distinct chains.
+    pub fn chains(&self) -> usize {
+        self.tasks
+            .iter()
+            .map(|t| t.chain as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// How the cluster executes the DAG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DagMode {
+    /// Completion-triggered: a task waits only for its own
+    /// predecessors (futures semantics, no stage barrier).
+    Dataflow,
+    /// Bulk-synchronous baseline: a global barrier between steps.
+    Barrier,
+}
+
+/// Seeded fault injection for DAG execution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DagFaultSpec {
+    /// Seed for the stateless per-attempt failure draws.
+    pub seed: u64,
+    /// Probability any single attempt fails.
+    pub fail_rate: f64,
+    /// Detection + re-submission delay charged per failed attempt.
+    pub backoff: SimTime,
+    /// Failed attempts tolerated before the task's node assignment is
+    /// quarantined and the work moves to the next node.
+    pub max_retries: u32,
+}
+
+impl DagFaultSpec {
+    /// No faults.
+    pub fn none() -> Self {
+        DagFaultSpec {
+            seed: 0,
+            fail_rate: 0.0,
+            backoff: SimTime::ZERO,
+            max_retries: 2,
+        }
+    }
+}
+
+/// Outcome of one DAG execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DagRunReport {
+    /// End-to-end simulated time.
+    pub makespan: SimTime,
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Failed attempts injected by the fault plan.
+    pub injected: u64,
+    /// Re-submissions after a failed attempt (on the same node).
+    pub retries: u64,
+    /// Tasks whose node assignment was quarantined (moved off-node
+    /// after exhausting retries).
+    pub quarantines: u64,
+    /// Simulated ns during which ≥ 2 distinct stages ran concurrently
+    /// (the dataflow win; 0 for a barrier schedule by construction).
+    pub overlap_ns: u64,
+    /// Sum of all attempt spans (node busy time).
+    pub busy_ns: u64,
+    /// Longest dependency path (durations + cross-node hops), a lower
+    /// bound on the makespan of any schedule.
+    pub critical_path: SimTime,
+    /// Per-node busy time.
+    pub per_node_busy: Vec<SimTime>,
+}
+
+impl DagRunReport {
+    /// Every attempt accounted: `tasks + injected` attempt spans were
+    /// journaled, and busy time fits inside `nodes × makespan`.
+    pub fn conserved(&self, nodes: usize) -> bool {
+        self.busy_ns <= self.makespan.as_nanos().saturating_mul(nodes as u64)
+            && self.critical_path <= self.makespan
+            && self.injected == self.retries + self.quarantines
+    }
+}
+
+/// Executes `workload` on `nodes` simulated nodes, journaling one span
+/// per attempt (lane = node) plus fault events, and returns the run
+/// report. Deterministic for a fixed `(workload, nodes, rate, net,
+/// mode, faults)` tuple — replaying yields a bit-identical journal.
+///
+/// # Panics
+/// Panics if `nodes == 0`.
+pub fn run_dag<R: Recorder>(
+    workload: &DagWorkload,
+    nodes: usize,
+    rate: NodeRate,
+    net: &NetworkModel,
+    mode: DagMode,
+    faults: &DagFaultSpec,
+    rec: &mut R,
+) -> DagRunReport {
+    assert!(nodes > 0, "cluster must have nodes");
+    let n = workload.tasks.len();
+    let mut report = DagRunReport {
+        makespan: SimTime::ZERO,
+        tasks: n as u64,
+        injected: 0,
+        retries: 0,
+        quarantines: 0,
+        overlap_ns: 0,
+        busy_ns: 0,
+        critical_path: SimTime::ZERO,
+        per_node_busy: vec![SimTime::ZERO; nodes],
+    };
+    if n == 0 {
+        return report;
+    }
+
+    // Resolve each task's attempts up front: the failure draws are
+    // stateless, so retries/quarantines are data, not control flow.
+    // `home[i]` is the node that finally runs task `i`.
+    let mut attempts: Vec<u32> = vec![0; n]; // failed attempts before success
+    let mut home: Vec<usize> = vec![0; n];
+    for (i, t) in workload.tasks.iter().enumerate() {
+        let assigned = t.chain as usize % nodes;
+        let mut failed = 0u32;
+        while failed < faults.max_retries
+            && draw(faults.seed, SALT_FAIL, ((i as u64) << 8) | failed as u64) < faults.fail_rate
+        {
+            failed += 1;
+        }
+        attempts[i] = failed;
+        home[i] = if failed == faults.max_retries {
+            // Quarantine the assignment: the final attempt always runs,
+            // on the neighbouring node, so the graph cannot deadlock.
+            (assigned + 1) % nodes
+        } else {
+            assigned
+        };
+    }
+
+    let mut finish: Vec<Option<SimTime>> = vec![None; n];
+    let mut node_free: Vec<SimTime> = vec![rate.startup; nodes];
+    let mut barrier_time = SimTime::ZERO; // only advanced in Barrier mode
+    let mut current_step = workload.tasks[0].step;
+    let mut spans: Vec<Span> = Vec::with_capacity(n);
+    let mut cp: Vec<SimTime> = vec![SimTime::ZERO; n];
+    let mut scheduled = vec![false; n];
+
+    // Greedy earliest-start list scheduling: repeatedly run the ready
+    // task that can start soonest (ties broken by index, so the
+    // schedule is deterministic). O(n²), fine at scenario scale.
+    for _round in 0..n {
+        let mut best: Option<(SimTime, usize)> = None;
+        for (i, t) in workload.tasks.iter().enumerate() {
+            if scheduled[i] {
+                continue;
+            }
+            if mode == DagMode::Barrier && t.step != current_step {
+                continue;
+            }
+            let mut ready = SimTime::ZERO;
+            let mut deps_done = true;
+            for &d in &t.deps {
+                match finish[d] {
+                    Some(f) => {
+                        let hop = if home[d] == home[i] {
+                            SimTime::ZERO
+                        } else {
+                            net.latency
+                                + net.transfer_time(1, workload.tasks[d].cost * BYTES_PER_COST)
+                        };
+                        ready = ready.max(f + hop);
+                    }
+                    None => {
+                        deps_done = false;
+                        break;
+                    }
+                }
+            }
+            if !deps_done {
+                continue;
+            }
+            let start = ready.max(node_free[home[i]]).max(barrier_time);
+            match best {
+                Some((s, _)) if s <= start => {}
+                _ => best = Some((start, i)),
+            }
+        }
+        let (start, i) = best.expect("ready task must exist: DAG is acyclic by construction");
+        let t = &workload.tasks[i];
+        let dur = rate.per_task * t.cost.max(1);
+        let node = home[i];
+
+        // Failed attempts: span + Injected/Retried events, then backoff.
+        let mut at = start;
+        for a in 0..attempts[i] {
+            let end = at + dur;
+            spans.push(Span {
+                stage: t.stage,
+                start_ns: at.as_nanos(),
+                end_ns: end.as_nanos(),
+                lane: node as u32,
+            });
+            if R::ENABLED {
+                rec.span(t.stage, at.as_nanos(), end.as_nanos(), node as u32);
+                rec.fault(FaultEvent {
+                    kind: FaultKind::KernelLaunchFail,
+                    action: FaultAction::Injected,
+                    at_ns: end.as_nanos(),
+                    tasks: 1,
+                });
+                let next = if a + 1 == faults.max_retries {
+                    FaultAction::Quarantined
+                } else {
+                    FaultAction::Retried
+                };
+                rec.fault(FaultEvent {
+                    kind: FaultKind::KernelLaunchFail,
+                    action: next,
+                    at_ns: end.as_nanos(),
+                    tasks: 1,
+                });
+            }
+            report.injected += 1;
+            if a + 1 == faults.max_retries {
+                report.quarantines += 1;
+            } else {
+                report.retries += 1;
+            }
+            report.busy_ns += dur.as_nanos();
+            report.per_node_busy[node] += dur;
+            at = end + faults.backoff;
+        }
+
+        let end = at + dur;
+        spans.push(Span {
+            stage: t.stage,
+            start_ns: at.as_nanos(),
+            end_ns: end.as_nanos(),
+            lane: node as u32,
+        });
+        if R::ENABLED {
+            rec.span(t.stage, at.as_nanos(), end.as_nanos(), node as u32);
+        }
+        report.busy_ns += dur.as_nanos();
+        report.per_node_busy[node] += dur;
+        finish[i] = Some(end);
+        node_free[node] = end;
+        scheduled[i] = true;
+        report.makespan = report.makespan.max(end);
+
+        // Critical path: predecessors' paths + this task's total time
+        // (failed attempts and backoffs included — faults lengthen the
+        // chain no schedule can beat).
+        let mut base = SimTime::ZERO;
+        for &d in &t.deps {
+            let hop = if home[d] == home[i] {
+                SimTime::ZERO
+            } else {
+                net.latency + net.transfer_time(1, workload.tasks[d].cost * BYTES_PER_COST)
+            };
+            base = base.max(cp[d] + hop);
+        }
+        cp[i] = base + (end.saturating_sub(start));
+        report.critical_path = report.critical_path.max(cp[i]);
+
+        // Barrier mode: advance the step once its last task finished.
+        if mode == DagMode::Barrier {
+            let step_done = workload
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.step == current_step)
+                .all(|(j, _)| scheduled[j]);
+            if step_done {
+                barrier_time = workload
+                    .tasks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.step == current_step)
+                    .map(|(j, _)| finish[j].expect("scheduled"))
+                    .fold(barrier_time, SimTime::max);
+                current_step = workload
+                    .tasks
+                    .iter()
+                    .filter(|t| t.step > current_step)
+                    .map(|t| t.step)
+                    .min()
+                    .unwrap_or(current_step);
+            }
+        }
+    }
+
+    report.overlap_ns = stage_overlap_ns(spans.iter());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use madness_trace::MemRecorder;
+
+    fn rate() -> NodeRate {
+        NodeRate {
+            startup: SimTime::from_micros(5),
+            per_task: SimTime::from_micros(2),
+        }
+    }
+
+    /// `chains` chained Apply→Update iterations with per-chain cost
+    /// skew, the shape of the SCF scenario.
+    fn chained(chains: u32, iters: u32) -> DagWorkload {
+        let mut w = DagWorkload::new();
+        let mut prev: Vec<Option<usize>> = vec![None; chains as usize];
+        for it in 0..iters {
+            for c in 0..chains {
+                let deps: Vec<usize> = prev[c as usize].into_iter().collect();
+                let apply = w.push(DagTask {
+                    chain: c,
+                    step: it * 2,
+                    stage: Stage::CpuCompute,
+                    cost: 40 + 25 * c as u64,
+                    deps,
+                });
+                let upd = w.push(DagTask {
+                    chain: c,
+                    step: it * 2 + 1,
+                    stage: Stage::Postprocess,
+                    cost: 8 + 3 * c as u64,
+                    deps: vec![apply],
+                });
+                prev[c as usize] = Some(upd);
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn dataflow_overlaps_barrier_does_not() {
+        let w = chained(4, 3);
+        let net = NetworkModel::default();
+        let mut rec = MemRecorder::new();
+        let df = run_dag(
+            &w,
+            4,
+            rate(),
+            &net,
+            DagMode::Dataflow,
+            &DagFaultSpec::none(),
+            &mut rec,
+        );
+        let ba = run_dag(
+            &w,
+            4,
+            rate(),
+            &net,
+            DagMode::Barrier,
+            &DagFaultSpec::none(),
+            &mut madness_trace::NullRecorder,
+        );
+        assert!(df.overlap_ns > 0, "dataflow must overlap stages: {df:?}");
+        assert_eq!(ba.overlap_ns, 0, "barrier must not overlap: {ba:?}");
+        assert!(df.makespan <= ba.makespan, "{df:?} vs {ba:?}");
+        assert!(df.conserved(4) && ba.conserved(4));
+        assert_eq!(rec.spans().count() as u64, df.tasks + df.injected);
+    }
+
+    #[test]
+    fn replay_is_bit_identical_including_faults() {
+        let w = chained(3, 4);
+        let net = NetworkModel::default();
+        let faults = DagFaultSpec {
+            seed: 0xFA17,
+            fail_rate: 0.2,
+            backoff: SimTime::from_micros(30),
+            max_retries: 2,
+        };
+        let mut rec_a = MemRecorder::new();
+        let mut rec_b = MemRecorder::new();
+        let a = run_dag(&w, 3, rate(), &net, DagMode::Dataflow, &faults, &mut rec_a);
+        let b = run_dag(&w, 3, rate(), &net, DagMode::Dataflow, &faults, &mut rec_b);
+        assert_eq!(a, b);
+        assert_eq!(rec_a.to_json(), rec_b.to_json());
+        assert!(a.injected > 0, "fail_rate 0.2 over 24 tasks must inject");
+    }
+
+    #[test]
+    fn faults_retry_and_quarantine_without_deadlock() {
+        let w = chained(2, 3);
+        let net = NetworkModel::default();
+        let faults = DagFaultSpec {
+            seed: 7,
+            fail_rate: 0.7, // hot enough to exhaust retries somewhere
+            backoff: SimTime::from_micros(10),
+            max_retries: 2,
+        };
+        let mut rec = MemRecorder::new();
+        let clean = run_dag(
+            &w,
+            2,
+            rate(),
+            &net,
+            DagMode::Dataflow,
+            &DagFaultSpec::none(),
+            &mut madness_trace::NullRecorder,
+        );
+        let faulty = run_dag(&w, 2, rate(), &net, DagMode::Dataflow, &faults, &mut rec);
+        assert!(faulty.injected > 0);
+        assert!(faulty.quarantines > 0, "0.7³ per task must quarantine");
+        assert_eq!(faulty.injected, faulty.retries + faulty.quarantines);
+        assert!(faulty.makespan > clean.makespan);
+        assert!(faulty.conserved(2));
+        // Journal carries the fault story: one Injected per failure.
+        let injected = rec
+            .faults()
+            .filter(|f| f.action == FaultAction::Injected)
+            .count() as u64;
+        assert_eq!(injected, faulty.injected);
+    }
+
+    #[test]
+    fn fault_free_plan_is_identity() {
+        let w = chained(3, 2);
+        let net = NetworkModel::default();
+        let base = run_dag(
+            &w,
+            3,
+            rate(),
+            &net,
+            DagMode::Dataflow,
+            &DagFaultSpec::none(),
+            &mut madness_trace::NullRecorder,
+        );
+        let zero = run_dag(
+            &w,
+            3,
+            rate(),
+            &net,
+            DagMode::Dataflow,
+            &DagFaultSpec {
+                seed: 99,
+                fail_rate: 0.0,
+                backoff: SimTime::from_micros(50),
+                max_retries: 2,
+            },
+            &mut madness_trace::NullRecorder,
+        );
+        assert_eq!(base, zero);
+        assert_eq!(base.injected, 0);
+    }
+
+    #[test]
+    fn cross_node_dependencies_pay_a_network_hop() {
+        // Chain 1's combine step consumes chain 0's value: on 2 nodes
+        // that edge crosses the interconnect and must cost more than
+        // the same DAG on 1 node (where every edge is local) minus the
+        // serialization effect — check the hop via the critical path.
+        let mut w = DagWorkload::new();
+        let a = w.push(DagTask {
+            chain: 0,
+            step: 0,
+            stage: Stage::CpuCompute,
+            cost: 10,
+            deps: vec![],
+        });
+        let b = w.push(DagTask {
+            chain: 1,
+            step: 0,
+            stage: Stage::CpuCompute,
+            cost: 10,
+            deps: vec![],
+        });
+        let _join = w.push(DagTask {
+            chain: 1,
+            step: 1,
+            stage: Stage::Postprocess,
+            cost: 5,
+            deps: vec![a, b],
+        });
+        let net = NetworkModel::default();
+        let local = run_dag(
+            &w,
+            1,
+            rate(),
+            &net,
+            DagMode::Dataflow,
+            &DagFaultSpec::none(),
+            &mut madness_trace::NullRecorder,
+        );
+        let remote = run_dag(
+            &w,
+            2,
+            rate(),
+            &net,
+            DagMode::Dataflow,
+            &DagFaultSpec::none(),
+            &mut madness_trace::NullRecorder,
+        );
+        assert!(remote.critical_path > local.critical_path);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not name an earlier task")]
+    fn forward_dependency_rejected() {
+        let mut w = DagWorkload::new();
+        w.push(DagTask {
+            chain: 0,
+            step: 1,
+            stage: Stage::CpuCompute,
+            cost: 1,
+            deps: vec![3],
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "not in an earlier step")]
+    fn same_step_dependency_rejected() {
+        let mut w = DagWorkload::new();
+        let a = w.push(DagTask {
+            chain: 0,
+            step: 0,
+            stage: Stage::CpuCompute,
+            cost: 1,
+            deps: vec![],
+        });
+        w.push(DagTask {
+            chain: 0,
+            step: 0,
+            stage: Stage::Postprocess,
+            cost: 1,
+            deps: vec![a],
+        });
+    }
+
+    #[test]
+    fn empty_workload_is_trivial() {
+        let r = run_dag(
+            &DagWorkload::new(),
+            2,
+            rate(),
+            &NetworkModel::default(),
+            DagMode::Dataflow,
+            &DagFaultSpec::none(),
+            &mut madness_trace::NullRecorder,
+        );
+        assert_eq!(r.tasks, 0);
+        assert_eq!(r.makespan, SimTime::ZERO);
+    }
+}

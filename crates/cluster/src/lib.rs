@@ -25,6 +25,10 @@
 //!   that, not assume it);
 //! * [`cluster`] — partition the tree by a process map, simulate every
 //!   node, and take the makespan;
+//! * [`dag`] — DAG-aware node execution for chained-operator
+//!   workloads: completion-triggered dataflow vs. a barrier-stepped
+//!   baseline, with seeded fault retry/quarantine and the inter-stage
+//!   overlap metric;
 //! * [`balance`] — cluster-wide dynamic load balancing (DESIGN.md §10):
 //!   drained nodes steal whole batches under a profit guard, or sync
 //!   epochs repartition from measured rates, paying migration cost
@@ -39,6 +43,7 @@
 
 pub mod balance;
 pub mod cluster;
+pub mod dag;
 pub mod des;
 pub mod network;
 pub mod node;
@@ -47,6 +52,7 @@ pub mod workload;
 
 pub use balance::{BalanceMode, BalanceReport};
 pub use cluster::{ClusterReport, ClusterSim};
+pub use dag::{run_dag, DagFaultSpec, DagMode, DagRunReport, DagTask, DagWorkload};
 pub use des::{Des, FifoResource};
 pub use network::{Interconnect, NetworkModel};
 pub use node::{FaultSummary, NodeParams, NodeRate, NodeReport, NodeSim, ResourceMode};

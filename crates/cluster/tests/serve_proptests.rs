@@ -149,6 +149,53 @@ proptest! {
         }
     }
 
+    /// The percentile sink's `ceil/clamp` rank arithmetic matches a
+    /// naive nearest-rank reference — the smallest sorted value whose
+    /// empirical CDF reaches q — for every quantile the report uses,
+    /// including the n = 1 and n = 2 populations where the index
+    /// arithmetic sits right on its clamp boundaries.
+    #[test]
+    fn percentiles_match_naive_nearest_rank(
+        ns in proptest::collection::vec(0u64..10_000_000, 1..400),
+    ) {
+        // Naive reference: first sorted element with rank/n ≥ q.
+        fn naive(sorted: &[u64], q: f64) -> u64 {
+            let n = sorted.len();
+            for (i, &v) in sorted.iter().enumerate() {
+                if (i + 1) as f64 / n as f64 >= q {
+                    return v;
+                }
+            }
+            sorted[n - 1]
+        }
+        let stats = LatencyStats::from_sojourns(ns.clone());
+        let mut sorted = ns;
+        sorted.sort_unstable();
+        prop_assert_eq!(stats.p50, SimTime::from_nanos(naive(&sorted, 0.50)));
+        prop_assert_eq!(stats.p99, SimTime::from_nanos(naive(&sorted, 0.99)));
+        prop_assert_eq!(stats.p999, SimTime::from_nanos(naive(&sorted, 0.999)));
+    }
+
+    /// Tiny populations pin the clamp boundary exactly: with one sample
+    /// every percentile is that sample; with two, the median is the
+    /// first and the tails are the second.
+    #[test]
+    fn percentiles_tiny_populations(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let one = LatencyStats::from_sojourns(vec![a]);
+        prop_assert_eq!(one.p50, SimTime::from_nanos(a));
+        prop_assert_eq!(one.p99, SimTime::from_nanos(a));
+        prop_assert_eq!(one.p999, SimTime::from_nanos(a));
+        prop_assert_eq!(one.max, SimTime::from_nanos(a));
+
+        let (lo, hi) = (a.min(b), a.max(b));
+        let two = LatencyStats::from_sojourns(vec![a, b]);
+        // ⌈0.5·2⌉ = 1 → first sample; ⌈0.99·2⌉ = 2 → second.
+        prop_assert_eq!(two.p50, SimTime::from_nanos(lo));
+        prop_assert_eq!(two.p99, SimTime::from_nanos(hi));
+        prop_assert_eq!(two.p999, SimTime::from_nanos(hi));
+        prop_assert_eq!(two.max, SimTime::from_nanos(hi));
+    }
+
     /// The percentile sink is monotone in its quantiles and bounded by
     /// the extremes of the population.
     #[test]

@@ -14,6 +14,10 @@
 //!   charge density.
 //! * [`tdse`] — the 4-D *Time-Dependent Schrödinger Equation* workload of
 //!   Table VI (synthetic-propagator substitution per DESIGN.md §2).
+//! * [`scf`] / [`bsh`] — the *chained* workloads: an SCF-style
+//!   fixed-point iteration and a Helmholtz/BSH operator pipeline, both
+//!   expressed as futures DAGs ([`madness_runtime::TaskGraph`]) with
+//!   completion-triggered submission and no barrier between stages.
 //! * [`scenario`] — experiment-scale scenario builders mapping the
 //!   paper's `(d, k, precision)` inputs to trees, operators, task
 //!   populations and node parameters; consumed by `madness-bench` and
@@ -23,14 +27,18 @@
 #![forbid(unsafe_code)]
 
 pub mod apply;
+pub mod bsh;
 pub mod coulomb;
 pub mod scenario;
+pub mod scf;
 pub mod tdse;
 
 pub use apply::{
     apply_batched, apply_batched_recorded, apply_cpu_reference, ApplyConfig, ApplyResource,
     ApplyStats,
 };
+pub use bsh::{BshChainApp, BshChainConfig, BshChainRun};
 pub use coulomb::CoulombApp;
 pub use scenario::Scenario;
+pub use scf::{OrbitalResult, ScfApp, ScfConfig, ScfRun};
 pub use tdse::TdseApp;

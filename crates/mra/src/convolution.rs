@@ -175,6 +175,43 @@ impl SeparatedConvolution {
         Self::from_terms(d, k, terms)
     }
 
+    /// The bound-state Helmholtz (BSH) kernel `e^{−μr}/r` to roughly
+    /// `precision`, via the same geometric quadrature as
+    /// [`SeparatedConvolution::coulomb`]: under `t = e^s` the integral
+    /// representation
+    /// `e^{−μr}/r = (2/√π) ∫ exp(−r²e^{2s} − μ²e^{−2s}/4) e^s ds`
+    /// differs from Coulomb's only by the `exp(−μ²e^{−2s}/4)` factor,
+    /// which damps the diffuse (small-`s`) terms — the operator is the
+    /// Green's function MADNESS applies in every SCF iteration to
+    /// invert `(−∇²/2 + μ²/2)`. `μ = 0` recovers Coulomb exactly.
+    pub fn bsh(d: usize, k: usize, mu: f64, precision: f64, r_min: f64) -> Self {
+        assert!(mu >= 0.0, "bsh needs a nonnegative µ");
+        assert!(precision > 0.0 && precision < 1.0, "bad precision");
+        assert!(r_min > 0.0 && r_min < 1.0, "bad r_min");
+        let eps = precision;
+        let two_over_sqrt_pi = 2.0 / std::f64::consts::PI.sqrt();
+        let s_lo = (eps / two_over_sqrt_pi).ln();
+        let s_hi = 0.5 * (1.0f64.max((1.0 / eps).ln())).ln() - r_min.ln() + 1.0;
+        let h = 1.0 / (0.2 + 0.47 * (1.0 / eps).log10());
+        let m = ((s_hi - s_lo) / h).ceil() as usize;
+        // The µ-damping factor sends the most diffuse terms to ~0; drop
+        // any term it suppresses below the precision budget so the
+        // separation rank (and every per-task cost that scales with it)
+        // reflects the real operator rather than Coulomb's. At µ = 0
+        // the factor is identically 1 and nothing is dropped.
+        let terms: Vec<GaussianTerm> = (0..m)
+            .filter_map(|i| {
+                let s = s_lo + (i as f64 + 0.5) * h;
+                let damping = (-(mu * mu) * (-2.0 * s).exp() / 4.0).exp();
+                (damping > eps * 1e-2).then(|| GaussianTerm {
+                    coeff: two_over_sqrt_pi * s.exp() * damping * h,
+                    exponent: (2.0 * s).exp(),
+                })
+            })
+            .collect();
+        Self::from_terms(d, k, terms)
+    }
+
     /// A synthetic rank-`m` Gaussian family with exponents spread
     /// geometrically over `[t_min, t_max]` and unit total weight.
     ///
@@ -475,6 +512,42 @@ mod tests {
             (60..=220).contains(&m),
             "rank {m} far from the paper's M ≈ 100"
         );
+    }
+
+    #[test]
+    fn bsh_separated_representation_accuracy() {
+        let mu = 2.0;
+        let op = SeparatedConvolution::bsh(3, 10, mu, 1e-6, 1e-2);
+        for &r in &[0.01, 0.02, 0.05, 0.1, 0.3, 0.7, 1.0, 1.5] {
+            let got = op.kernel_at(r * r);
+            let want = (-mu * r).exp() / r;
+            let rel = (got - want).abs() / want;
+            assert!(rel < 1e-3, "r={r}: {got} vs {want} (rel {rel:.2e})");
+        }
+    }
+
+    #[test]
+    fn bsh_at_zero_mu_matches_coulomb() {
+        let bsh = SeparatedConvolution::bsh(3, 8, 0.0, 1e-6, 1e-2);
+        let clb = SeparatedConvolution::coulomb(3, 8, 1e-6, 1e-2);
+        assert_eq!(bsh.rank(), clb.rank());
+        for &r2 in &[1e-4, 1e-2, 0.25, 1.0] {
+            let (a, b) = (bsh.kernel_at(r2), clb.kernel_at(r2));
+            assert!((a - b).abs() <= 1e-12 * b.abs(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn bsh_damping_trims_diffuse_terms() {
+        // A bound µ kills the small-exponent (long-range) Gaussians, so
+        // the rank must strictly drop relative to Coulomb and keep
+        // dropping as µ grows.
+        let clb = SeparatedConvolution::coulomb(3, 10, 1e-6, 1e-2).rank();
+        let soft = SeparatedConvolution::bsh(3, 10, 1.0, 1e-6, 1e-2).rank();
+        let hard = SeparatedConvolution::bsh(3, 10, 30.0, 1e-6, 1e-2).rank();
+        assert!(soft < clb, "µ=1 rank {soft} not below Coulomb {clb}");
+        assert!(hard < soft, "µ=30 rank {hard} not below µ=1 {soft}");
+        assert!(hard >= 1);
     }
 
     #[test]

@@ -415,7 +415,10 @@ impl AdaptiveDispatcher {
         let Some(n_hat) = self.models.get(&kind).and_then(|m| m.n_hat) else {
             return false;
         };
-        let expected = (n_hat * gpu_tasks as f64).max(self.config.floor_ns);
+        // The degenerate-measurement floor is per *task*, not per batch:
+        // flooring the whole-batch expectation would under-floor large
+        // batches of a fast kind and flag a healthy device as timed out.
+        let expected = n_hat.max(self.config.floor_ns) * gpu_tasks as f64;
         actual_ns as f64 > self.config.timeout_factor * expected
     }
 
@@ -753,6 +756,28 @@ mod tests {
             !d.batch_timed_out(KIND, 0, u64::MAX),
             "no GPU tasks, no timeout"
         );
+    }
+
+    #[test]
+    fn timeout_floor_is_per_task_at_the_boundary() {
+        // A kind whose GPU probes measure below the clock floor: record
+        // floors the sample, so n̂ sits exactly at floor_ns. The timeout
+        // line must then scale as floor · tasks — a large batch gets the
+        // full per-task floor, not one floor for the whole batch.
+        let mut d = dispatcher();
+        let floor = d.config().floor_ns; // 50 ns
+        let factor = d.config().timeout_factor; // 4.0
+        d.record(KIND, 0, 0, 60, 0); // 0 ns for 60 tasks → floored
+        let m = d.model(KIND).expect("model exists");
+        assert_eq!(m.n_hat_ns, floor, "record floors per task");
+        // 1000-task batch: line = factor · floor · 1000 = 200 µs.
+        let line = (factor * floor * 1_000.0) as u64;
+        assert!(!d.batch_timed_out(KIND, 1_000, line));
+        assert!(d.batch_timed_out(KIND, 1_000, line + 1));
+        // Single task: line = factor · floor.
+        let line1 = (factor * floor) as u64;
+        assert!(!d.batch_timed_out(KIND, 1, line1));
+        assert!(d.batch_timed_out(KIND, 1, line1 + 1));
     }
 
     #[test]

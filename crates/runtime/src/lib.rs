@@ -32,6 +32,7 @@ pub mod adaptive;
 pub mod batcher;
 pub mod cpu;
 pub mod dispatch;
+pub mod graph;
 pub mod op;
 pub mod pool;
 
@@ -39,5 +40,6 @@ pub use adaptive::{AdaptiveConfig, AdaptiveDispatcher, DispatchDecision, Dispatc
 pub use batcher::{Batcher, BatcherConfig, TaskKind, TenantId};
 pub use cpu::CpuModel;
 pub use dispatch::{hybrid_optimal_time, measured_split, optimal_split, SplitPlan};
+pub use graph::{Future, GraphRunStats, TaskGraph, TaskId};
 pub use op::BatchedOp;
 pub use pool::{global_pool, initialize_hot_path, WorkerPool};

@@ -30,7 +30,7 @@
 pub mod json;
 mod timeline;
 
-pub use timeline::StageBreakdown;
+pub use timeline::{stage_overlap_ns, StageBreakdown};
 
 use std::collections::BTreeMap;
 

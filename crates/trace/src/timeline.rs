@@ -93,6 +93,45 @@ impl StageBreakdown {
     }
 }
 
+/// Simulated nanoseconds during which **two or more distinct stages**
+/// are active at once — the inter-stage overlap a dataflow DAG buys
+/// over barrier-synchronized execution.
+///
+/// Lanes of the *same* stage never count (four parallel Preprocess
+/// lanes are intra-stage parallelism, not overlap); a barrier-stepped
+/// schedule, where each global step runs exactly one stage, scores 0 by
+/// construction. Zero-length spans are ignored.
+pub fn stage_overlap_ns<'a>(spans: impl IntoIterator<Item = &'a Span>) -> u64 {
+    let mut edges: Vec<(u64, i32, usize)> = Vec::new();
+    for s in spans {
+        if s.end_ns > s.start_ns {
+            edges.push((s.start_ns, 1, s.stage.index()));
+            edges.push((s.end_ns, -1, s.stage.index()));
+        }
+    }
+    edges.sort_unstable_by_key(|&(t, delta, _)| (t, -delta));
+
+    let mut active = [0i64; Stage::ALL.len()];
+    let mut overlap = 0u64;
+    let mut cursor = 0u64;
+    let mut i = 0usize;
+    while i < edges.len() {
+        let t = edges[i].0;
+        if t > cursor {
+            let distinct = active.iter().filter(|&&c| c > 0).count();
+            if distinct >= 2 {
+                overlap += t - cursor;
+            }
+        }
+        cursor = t;
+        while i < edges.len() && edges[i].0 == t {
+            active[edges[i].2] += edges[i].1 as i64;
+            i += 1;
+        }
+    }
+    overlap
+}
+
 fn top_stage(active: &[i64; Stage::ALL.len()]) -> Option<Stage> {
     Stage::ALL
         .into_iter()
@@ -167,6 +206,49 @@ mod tests {
         let b = StageBreakdown::from_spans(&spans, 10);
         assert_eq!(b.stage_ns(Stage::Preprocess), 10);
         assert_eq!(b.attributed_total_ns(), 10);
+    }
+
+    #[test]
+    fn overlap_counts_only_distinct_stage_concurrency() {
+        // [5, 10): CpuCompute ∥ Postprocess → 5 ns of overlap; the
+        // rest of the window has at most one stage active.
+        let spans = [
+            span(Stage::CpuCompute, 0, 10),
+            span(Stage::Postprocess, 5, 20),
+        ];
+        assert_eq!(stage_overlap_ns(&spans), 5);
+    }
+
+    #[test]
+    fn overlap_ignores_lanes_of_the_same_stage() {
+        let spans: Vec<Span> = (0..4).map(|_| span(Stage::Preprocess, 0, 10)).collect();
+        assert_eq!(stage_overlap_ns(&spans), 0);
+    }
+
+    #[test]
+    fn barrier_stepped_schedule_scores_zero_overlap() {
+        // One stage per global step, touching at the boundaries: a
+        // barrier schedule by construction, so no overlap at all.
+        let spans = [
+            span(Stage::CpuCompute, 0, 10),
+            span(Stage::Postprocess, 10, 14),
+            span(Stage::CpuCompute, 14, 30),
+            span(Stage::Postprocess, 30, 33),
+        ];
+        assert_eq!(stage_overlap_ns(&spans), 0);
+    }
+
+    #[test]
+    fn overlap_handles_three_way_and_gaps() {
+        let spans = [
+            span(Stage::CpuCompute, 0, 10),
+            span(Stage::Postprocess, 4, 12),
+            span(Stage::Transfer, 6, 8),
+            span(Stage::CpuCompute, 20, 25), // solo after a gap
+        ];
+        // [4,10) has ≥ 2 distinct stages active; [10,12) and [20,25)
+        // are solo.
+        assert_eq!(stage_overlap_ns(&spans), 6);
     }
 
     #[test]
