@@ -6,8 +6,8 @@
 //! ```
 
 use madness_bench::{
-    ablation, balance_report, dag_report, dispatch_report, faults_report, figures, kernels_report,
-    perf, serve_report, tables, trace_report,
+    ablation, balance_report, chaos_report, dag_report, dispatch_report, faults_report, figures,
+    kernels_report, perf, serve_report, tables, trace_report,
 };
 
 fn hr(title: &str) {
@@ -320,6 +320,24 @@ fn dag(write_json: bool) {
     }
 }
 
+fn chaos(write_json: bool) {
+    hr(
+        "Chaos — survivable serving: node crash/partition/rejoin, hedged\n\
+         requests, overload brownout; lineage re-executes from the epoch\n\
+         checkpoint + delta ledger, every scenario conserves requests and\n\
+         replays bit-identically on the same seed",
+    );
+    let r = chaos_report::chaos_table();
+    print!("{}", chaos_report::render(&r));
+    if write_json {
+        let path = std::path::Path::new("BENCH_chaos.json");
+        match std::fs::write(path, chaos_report::to_json(&r)) {
+            Ok(()) => println!("\nchaos trajectory point written to {}", path.display()),
+            Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+        }
+    }
+}
+
 const EXPERIMENTS: &[&str] = &[
     "table1",
     "table2",
@@ -339,13 +357,15 @@ const EXPERIMENTS: &[&str] = &[
     "balance",
     "serve",
     "dag",
+    "chaos-serve",
 ];
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // `--json` affects `bench` (writes BENCH_apply.json), `kernels`
     // (writes BENCH_kernels.json), `balance` (writes BENCH_cluster.json),
-    // `serve` (writes BENCH_serve.json), and `dag` (writes BENCH_dag.json).
+    // `serve` (writes BENCH_serve.json), `dag` (writes BENCH_dag.json),
+    // and `chaos-serve` (writes BENCH_chaos.json).
     let json = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
     if let Some(bad) = args
@@ -423,5 +443,8 @@ fn main() {
     }
     if want("dag") {
         dag(json);
+    }
+    if want("chaos-serve") {
+        chaos(json);
     }
 }

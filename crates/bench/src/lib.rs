@@ -26,12 +26,14 @@
 //! | Balance    | [`balance_report::balance_table`] |
 //! | Serve      | [`serve_report::serve_table`] |
 //! | Dag        | [`dag_report::dag_table`] |
+//! | Chaos      | [`chaos_report::chaos_table`] |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod ablation;
 pub mod balance_report;
+pub mod chaos_report;
 pub mod dag_report;
 pub mod dispatch_report;
 pub mod faults_report;

@@ -17,9 +17,12 @@
 use madness_cluster::cluster::ClusterSim;
 use madness_cluster::network::NetworkModel;
 use madness_cluster::node::{NodeParams, NodeSim, ResourceMode};
+use madness_cluster::serve::{RateProfile, ServeConfig, ShedPolicy, SurvivalConfig, TenantSpec};
 use madness_cluster::workload::{TaskPopulation, WorkloadSpec};
+use madness_cluster::BalanceMode;
 use madness_faults::{FaultPlan, RecoveryPolicy};
 use madness_gpusim::{KernelKind, SimTime};
+use madness_runtime::TenantId;
 use madness_trace::{MemRecorder, NullRecorder};
 use proptest::prelude::*;
 
@@ -238,6 +241,139 @@ proptest! {
         prop_assert_eq!(s1, s2);
         prop_assert_eq!(j1, j2);
     }
+}
+
+/// Two-tenant Poisson serve config over `nodes` nodes at utilisation
+/// `rho`, mirroring the in-crate serve tests (ISSUE 9, satellite 5).
+fn serve_cfg(sim: &ClusterSim, nodes: usize, rho: f64, seed: u64) -> ServeConfig {
+    let tasks_per_request = 4;
+    let rate = sim.node().calibrate(
+        &spec(),
+        mode(0),
+        &FaultPlan::none(),
+        RecoveryPolicy::default(),
+    );
+    let per_req = rate.per_task.as_secs_f64() * tasks_per_request as f64;
+    let total = rho * nodes as f64 / per_req.max(1e-12);
+    ServeConfig {
+        spec: spec(),
+        tenants: vec![
+            TenantSpec {
+                id: TenantId(1),
+                weight: 4.0,
+                deadline: SimTime::from_millis(5),
+                profile: RateProfile::Poisson { rate: total / 2.0 },
+                tasks_per_request,
+            },
+            TenantSpec {
+                id: TenantId(2),
+                weight: 1.0,
+                deadline: SimTime::from_millis(20),
+                profile: RateProfile::Poisson { rate: total / 2.0 },
+                tasks_per_request,
+            },
+        ],
+        nodes,
+        seed,
+        horizon: SimTime::from_millis(50),
+        queue_capacity: 1 << 20,
+        shed: ShedPolicy::RejectNew,
+        kinds_per_tenant: 4,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Crash-mid-epoch conservation (ISSUE 9): a node crash landing at an
+    /// arbitrary instant between repartition epochs, under live Poisson
+    /// traffic, must lose nothing — every generated request terminates as
+    /// completed, rejected, or shed; every hedge copy the recovery path
+    /// launches is cancelled or counted; and the whole run replays
+    /// bit-identically, journal included.
+    #[test]
+    fn crash_mid_epoch_conserves_and_replays(
+        seed in any::<u64>(),
+        crash_ms in 5u64..45,
+        node_idx in 0usize..4,
+        rejoin in any::<bool>(),
+    ) {
+        let sim = ClusterSim::new(node(), NetworkModel::default());
+        let cfg = serve_cfg(&sim, 4, 0.8, seed);
+        let crash_at = SimTime::from_millis(crash_ms).as_nanos();
+        let mut plan = FaultPlan::none().with_node_crash_at(crash_at);
+        if rejoin {
+            let horizon = cfg.horizon.as_nanos();
+            plan = plan.with_node_rejoin_at(crash_at + horizon / 8);
+        }
+        let mut plans = vec![FaultPlan::none(); 4];
+        plans[node_idx] = plan;
+        let run = || {
+            let mut rec = MemRecorder::new();
+            let report = sim.run_served_survivable(
+                &cfg,
+                mode(0),
+                BalanceMode::Repartition { epochs: 4 },
+                &plans,
+                RecoveryPolicy::default(),
+                &SurvivalConfig::default(),
+                &mut rec,
+            );
+            (report, rec.to_json())
+        };
+        let (a, ja) = run();
+        prop_assert!(a.conserved(), "conservation broke: {a:?}");
+        prop_assert_eq!(a.generated, a.completed + a.rejected + a.shed);
+        prop_assert_eq!(a.cancelled_hedges, a.hedges_launched);
+        prop_assert_eq!(a.node_crashes, 1);
+        if rejoin {
+            prop_assert_eq!(a.rejoins, 1);
+        }
+        let (b, jb) = run();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(ja, jb);
+    }
+}
+
+/// Fixed-seed serve-crash smoke for CI's `chaos-serve-smoke` job: one
+/// pinned crash+rejoin schedule under live traffic that must conserve
+/// and replay. Kept out of `proptest!` so its seed never shrinks away.
+#[test]
+fn chaos_serve_smoke_fixed_seed() {
+    let sim = ClusterSim::new(node(), NetworkModel::default());
+    let cfg = serve_cfg(&sim, 4, 0.8, 0x5EBE_D0C5);
+    let crash_at = SimTime::from_millis(20).as_nanos();
+    let rejoin_at = SimTime::from_millis(35).as_nanos();
+    let mut plans = vec![FaultPlan::none(); 4];
+    plans[1] = FaultPlan::none()
+        .with_node_crash_at(crash_at)
+        .with_node_rejoin_at(rejoin_at);
+    let run = || {
+        let mut rec = MemRecorder::new();
+        let report = sim.run_served_survivable(
+            &cfg,
+            mode(0),
+            BalanceMode::Repartition { epochs: 4 },
+            &plans,
+            RecoveryPolicy::default(),
+            &SurvivalConfig::default(),
+            &mut rec,
+        );
+        (report, rec.to_json())
+    };
+    let (a, ja) = run();
+    let (b, jb) = run();
+    assert!(a.conserved(), "{a:?}");
+    assert_eq!(a.generated, a.completed + a.rejected + a.shed);
+    assert_eq!(a.cancelled_hedges, a.hedges_launched);
+    assert_eq!(a.node_crashes, 1);
+    assert_eq!(a.rejoins, 1);
+    assert!(
+        a.recovered_requests > 0,
+        "the crash must actually bite: {a:?}"
+    );
+    assert_eq!(a, b);
+    assert_eq!(ja, jb);
 }
 
 /// Fixed-seed smoke replay for CI's `chaos-smoke` job: one known-vicious

@@ -23,7 +23,12 @@
 //!   [`HealthTracker`] are the error-path vocabulary the runtime layers
 //!   share: per-task failure causes, capped exponential backoff with
 //!   deterministic jitter, and the quarantine → probing re-admission
-//!   state machine.
+//!   state machine;
+//! * [`NodeFault`] scales the taxonomy from devices to whole nodes
+//!   (crash / partition / rejoin at planned instants), and
+//!   [`CircuitBreaker`] generalizes the health ladder to per-
+//!   `(tenant, node)` closed → open → half-open gating with
+//!   deterministic probe admission for the serving cluster.
 //!
 //! The cardinal invariant: an **empty plan is inert**. Every injector
 //! query on [`FaultPlan::none`] returns "no fault" without perturbing any
@@ -39,11 +44,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod breaker;
 mod plan;
 mod recovery;
 
+pub use breaker::{BreakerMap, BreakerPolicy, BreakerState, CircuitBreaker};
 pub use madness_trace::{FaultAction, FaultEvent, FaultKind};
-pub use plan::{FaultInjector, FaultPlan, Injection, TaskError, Trigger};
+pub use plan::{FaultInjector, FaultPlan, Injection, NodeFault, TaskError, Trigger};
 pub use recovery::{DeviceHealth, GpuGate, HealthTracker, RecoveryPolicy};
 
 /// Stateless deterministic draw in `[0, 1)` for `(seed, salt, index)`.

@@ -68,6 +68,49 @@ pub struct Injection {
     pub trigger: Trigger,
 }
 
+/// A whole-node lifecycle fault, scheduled at an absolute simulated
+/// instant. Unlike the per-operation faults above, these describe the
+/// node itself disappearing (or coming back): the serving and balance
+/// simulations consume them to drive crash detection, lineage
+/// re-execution and probe-ladder re-admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeFault {
+    /// The node crashes at this instant: queues, in-flight batches and
+    /// chain state are lost; only the last checkpoint survives.
+    CrashAt(u64),
+    /// The node is cut off the interconnect for `duration_ns` starting
+    /// at `at_ns`. Local state survives, but peers may declare it dead
+    /// and fence its results before the partition heals.
+    PartitionAt {
+        /// Partition start, simulated nanoseconds.
+        at_ns: u64,
+        /// How long the node stays unreachable.
+        duration_ns: u64,
+    },
+    /// A previously crashed node rejoins at this instant with cold
+    /// caches, re-admitted through the probe ladder.
+    RejoinAt(u64),
+}
+
+impl NodeFault {
+    /// The instant the fault fires.
+    pub fn at_ns(self) -> u64 {
+        match self {
+            NodeFault::CrashAt(t) | NodeFault::RejoinAt(t) => t,
+            NodeFault::PartitionAt { at_ns, .. } => at_ns,
+        }
+    }
+
+    /// The journal vocabulary this fault maps to.
+    pub fn kind(self) -> FaultKind {
+        match self {
+            NodeFault::CrashAt(_) => FaultKind::NodeCrash,
+            NodeFault::PartitionAt { .. } => FaultKind::NodePartition,
+            NodeFault::RejoinAt(_) => FaultKind::NodeRejoin,
+        }
+    }
+}
+
 /// A deterministic, seeded description of everything that goes wrong in
 /// a run.
 ///
@@ -93,6 +136,7 @@ pub struct FaultPlan {
     message_drop_rate: f64,
     window: Option<(u64, u64)>,
     injections: Vec<Injection>,
+    node_faults: Vec<NodeFault>,
 }
 
 impl Default for FaultPlan {
@@ -108,7 +152,23 @@ impl Default for FaultPlan {
             message_drop_rate: 0.0,
             window: None,
             injections: Vec::new(),
+            node_faults: Vec::new(),
         }
+    }
+}
+
+/// Sanitizes a probability: NaN becomes 0, everything else is clamped to
+/// `[0, 1]`. Debug builds still reject out-of-range inputs loudly so
+/// plan-construction bugs surface in tests.
+fn sanitize_rate(rate: f64) -> f64 {
+    debug_assert!(
+        !rate.is_nan() && (0.0..=1.0).contains(&rate),
+        "rate must be in [0, 1]"
+    );
+    if rate.is_nan() {
+        0.0
+    } else {
+        rate.clamp(0.0, 1.0)
     }
 }
 
@@ -126,33 +186,34 @@ impl FaultPlan {
         }
     }
 
-    /// Sets the per-kernel-launch failure probability.
+    /// Sets the per-kernel-launch failure probability. NaN is treated
+    /// as 0 and out-of-range values are clamped to `[0, 1]`.
     ///
     /// # Panics
-    /// Panics if `rate` is not in `[0, 1]`.
+    /// Debug builds panic if `rate` is NaN or not in `[0, 1]`.
     pub fn with_launch_fail_rate(mut self, rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
-        self.launch_fail_rate = rate;
+        self.launch_fail_rate = sanitize_rate(rate);
         self
     }
 
-    /// Sets the per-DMA timeout probability.
+    /// Sets the per-DMA timeout probability. NaN is treated as 0 and
+    /// out-of-range values are clamped to `[0, 1]`.
     ///
     /// # Panics
-    /// Panics if `rate` is not in `[0, 1]`.
+    /// Debug builds panic if `rate` is NaN or not in `[0, 1]`.
     pub fn with_transfer_timeout_rate(mut self, rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
-        self.transfer_timeout_rate = rate;
+        self.transfer_timeout_rate = sanitize_rate(rate);
         self
     }
 
     /// Sets the per-batch stream-stall probability and the stall length.
+    /// NaN is treated as 0 and out-of-range values are clamped to
+    /// `[0, 1]`.
     ///
     /// # Panics
-    /// Panics if `rate` is not in `[0, 1]`.
+    /// Debug builds panic if `rate` is NaN or not in `[0, 1]`.
     pub fn with_stream_stalls(mut self, rate: f64, stall_ns: u64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
-        self.stream_stall_rate = rate;
+        self.stream_stall_rate = sanitize_rate(rate);
         self.stall_ns = stall_ns;
         self
     }
@@ -177,13 +238,13 @@ impl FaultPlan {
         self
     }
 
-    /// Sets the per-message network drop probability.
+    /// Sets the per-message network drop probability. NaN is treated as
+    /// 0 and out-of-range values are clamped to `[0, 1]`.
     ///
     /// # Panics
-    /// Panics if `rate` is not in `[0, 1]`.
+    /// Debug builds panic if `rate` is NaN or not in `[0, 1]`.
     pub fn with_message_drop_rate(mut self, rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
-        self.message_drop_rate = rate;
+        self.message_drop_rate = sanitize_rate(rate);
         self
     }
 
@@ -205,6 +266,39 @@ impl FaultPlan {
         self
     }
 
+    /// Adds one whole-node lifecycle fault.
+    ///
+    /// # Panics
+    /// Panics if a partition has zero duration.
+    pub fn with_node_fault(mut self, fault: NodeFault) -> Self {
+        if let NodeFault::PartitionAt { duration_ns, .. } = fault {
+            assert!(duration_ns > 0, "partition must have non-zero duration");
+        }
+        self.node_faults.push(fault);
+        self
+    }
+
+    /// The node crashes at this simulated nanosecond.
+    pub fn with_node_crash_at(self, at_ns: u64) -> Self {
+        self.with_node_fault(NodeFault::CrashAt(at_ns))
+    }
+
+    /// The node is partitioned off the interconnect for `duration_ns`
+    /// starting at `at_ns`.
+    pub fn with_node_partition(self, at_ns: u64, duration_ns: u64) -> Self {
+        self.with_node_fault(NodeFault::PartitionAt { at_ns, duration_ns })
+    }
+
+    /// The node rejoins (cold) at this simulated nanosecond.
+    pub fn with_node_rejoin_at(self, at_ns: u64) -> Self {
+        self.with_node_fault(NodeFault::RejoinAt(at_ns))
+    }
+
+    /// The planned whole-node lifecycle faults, in insertion order.
+    pub fn node_faults(&self) -> &[NodeFault] {
+        &self.node_faults
+    }
+
     /// The straggler multiplier (1.0 = keeps pace).
     pub fn straggler_multiplier(&self) -> f64 {
         self.straggler_multiplier
@@ -219,6 +313,7 @@ impl FaultPlan {
             && self.straggler_multiplier == 1.0
             && self.message_drop_rate == 0.0
             && self.injections.is_empty()
+            && self.node_faults.is_empty()
     }
 }
 
@@ -500,9 +595,75 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "rates are clamped in release")]
     #[should_panic(expected = "rate must be in [0, 1]")]
     fn out_of_range_rate_rejected() {
         let _ = FaultPlan::none().with_launch_fail_rate(1.5);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "rates are clamped in release")]
+    #[should_panic(expected = "rate must be in [0, 1]")]
+    fn nan_rate_rejected() {
+        let _ = FaultPlan::none().with_message_drop_rate(f64::NAN);
+    }
+
+    #[test]
+    fn boundary_rates_accepted() {
+        // 0 and 1 are legal for every probability builder; 0 keeps the
+        // plan inert, 1 fires on every draw.
+        let inert = FaultPlan::none()
+            .with_launch_fail_rate(0.0)
+            .with_transfer_timeout_rate(0.0)
+            .with_stream_stalls(0.0, 10)
+            .with_message_drop_rate(0.0);
+        assert!(inert.is_empty());
+        let hot = FaultPlan::seeded(1)
+            .with_launch_fail_rate(1.0)
+            .with_transfer_timeout_rate(1.0)
+            .with_stream_stalls(1.0, 10)
+            .with_message_drop_rate(1.0);
+        let mut inj = FaultInjector::new(&hot);
+        assert!(inj.kernel_launch(0).is_some());
+        assert!(inj.transfer(0).is_some());
+        assert!(inj.stream_stall(0).is_some());
+        assert!(inj.message_dropped(0));
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn out_of_range_rates_clamp_in_release() {
+        let mut inj = FaultInjector::new(&FaultPlan::seeded(1).with_launch_fail_rate(1.5));
+        assert!(inj.kernel_launch(0).is_some(), "clamped to 1.0");
+        let nan = FaultPlan::none().with_message_drop_rate(f64::NAN);
+        assert!(nan.is_empty(), "NaN sanitized to 0.0");
+    }
+
+    #[test]
+    fn node_faults_are_kept_in_order_and_break_inertness() {
+        let plan = FaultPlan::none()
+            .with_node_crash_at(5_000)
+            .with_node_partition(9_000, 2_000)
+            .with_node_rejoin_at(20_000);
+        assert!(!plan.is_empty());
+        let nf = plan.node_faults();
+        assert_eq!(nf.len(), 3);
+        assert_eq!(nf[0], NodeFault::CrashAt(5_000));
+        assert_eq!(nf[0].at_ns(), 5_000);
+        assert_eq!(nf[0].kind(), FaultKind::NodeCrash);
+        assert_eq!(nf[1].at_ns(), 9_000);
+        assert_eq!(nf[1].kind(), FaultKind::NodePartition);
+        assert_eq!(nf[2].kind(), FaultKind::NodeRejoin);
+        // Node faults never leak into the per-operation injector paths.
+        let mut inj = FaultInjector::new(&plan);
+        assert_eq!(inj.kernel_launch(6_000), None);
+        assert!(!inj.message_dropped(6_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "partition must have non-zero duration")]
+    fn zero_duration_partition_rejected() {
+        let _ = FaultPlan::none().with_node_partition(1_000, 0);
     }
 
     #[test]

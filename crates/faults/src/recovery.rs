@@ -15,7 +15,9 @@ pub struct RecoveryPolicy {
     pub max_retries: u32,
     /// Backoff before the first retry.
     pub base_backoff_ns: u64,
-    /// Ceiling on any single backoff (pre-jitter).
+    /// Ceiling on any single backoff, jitter included: the exponential
+    /// growth saturates here and the jittered value is clamped back to
+    /// it, so no retry ever waits longer than the cap.
     pub backoff_cap_ns: u64,
     /// Jitter fraction in `[0, 1]`: each backoff is scaled by a
     /// deterministic factor in `[1 - jitter, 1 + jitter]`.
@@ -77,6 +79,10 @@ impl RecoveryPolicy {
     /// growth from the base, scaled by deterministic jitter keyed on
     /// `salt` (use something batch-unique so concurrent failures don't
     /// thundering-herd).
+    ///
+    /// Overflow-safe at any `attempt`: the shift is bounded, the multiply
+    /// saturates, and the jittered value is clamped to the cap instead of
+    /// wrapping — `backoff_ns(63, s) <= backoff_cap_ns` always holds.
     pub fn backoff_ns(&self, attempt: u32, salt: u64) -> u64 {
         let exp = self
             .base_backoff_ns
@@ -91,7 +97,9 @@ impl RecoveryPolicy {
             salt.wrapping_add(attempt as u64),
         );
         let factor = 1.0 + self.jitter * (2.0 * u - 1.0);
-        ((exp as f64) * factor).round() as u64
+        // f64→u64 casts saturate, so even an enormous cap cannot wrap;
+        // the min keeps the cap a hard ceiling through the jitter path.
+        (((exp as f64) * factor).round() as u64).min(self.backoff_cap_ns)
     }
 }
 
@@ -394,5 +402,159 @@ mod tests {
             jitter: 2.0,
             ..RecoveryPolicy::default()
         });
+    }
+
+    #[test]
+    fn backoff_attempt_63_boundary_saturates_at_cap() {
+        // Jitter-free path: the shift is bounded and the cap binds.
+        let flat = RecoveryPolicy {
+            jitter: 0.0,
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(flat.backoff_ns(63, 0), flat.backoff_cap_ns);
+        assert_eq!(flat.backoff_ns(u32::MAX, 0), flat.backoff_cap_ns);
+        // Extreme base/cap: the multiply saturates instead of wrapping.
+        let huge = RecoveryPolicy {
+            base_backoff_ns: u64::MAX / 2,
+            backoff_cap_ns: u64::MAX,
+            jitter: 0.0,
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(huge.backoff_ns(63, 0), u64::MAX);
+        // Jitter path at the boundary: deterministic, and the cap stays
+        // a hard ceiling even though jitter would push past it.
+        let pol = RecoveryPolicy::default();
+        for salt in 0..100 {
+            let b = pol.backoff_ns(63, salt);
+            assert!(b <= pol.backoff_cap_ns, "jittered backoff above cap");
+            assert!(
+                b as f64 >= pol.backoff_cap_ns as f64 * (1.0 - pol.jitter) - 1.0,
+                "jittered backoff below the jitter envelope"
+            );
+            assert_eq!(b, pol.backoff_ns(63, salt), "deterministic");
+        }
+        // Jittered extreme cap: the f64 round-trip saturates, no wrap.
+        let huge_jitter = RecoveryPolicy {
+            base_backoff_ns: u64::MAX / 2,
+            backoff_cap_ns: u64::MAX,
+            ..RecoveryPolicy::default()
+        };
+        for salt in 0..100 {
+            assert!(huge_jitter.backoff_ns(63, salt) >= u64::MAX / 4);
+        }
+    }
+
+    #[test]
+    fn gate_flips_exactly_at_quarantine_window_end() {
+        let pol = RecoveryPolicy::default();
+        let mut hl = HealthTracker::new(pol);
+        hl.force_quarantine(1_000);
+        let until = 1_000 + pol.quarantine_ns;
+        assert_eq!(hl.health(), DeviceHealth::Quarantined { until_ns: until });
+        assert_eq!(hl.gate(until - 1), GpuGate::Closed, "one ns early: closed");
+        assert_eq!(hl.gate(until), GpuGate::Probe, "window end is inclusive");
+    }
+
+    #[test]
+    fn ok_at_probe_instant_readmits_with_zero_length_window() {
+        // The probe batch completes at the very instant the gate opened:
+        // a zero-length probe window must still count as a re-admission
+        // and reset the (doubled) quarantine window back to base.
+        let pol = RecoveryPolicy {
+            quarantine_ns: 1_000,
+            quarantine_cap_ns: 4_000,
+            ..RecoveryPolicy::default()
+        };
+        let mut hl = HealthTracker::new(pol);
+        hl.force_quarantine(0);
+        assert_eq!(hl.gate(1_000), GpuGate::Probe);
+        hl.on_batch_failed(1_000); // failed probe doubles the window
+        assert_eq!(hl.health(), DeviceHealth::Quarantined { until_ns: 3_000 });
+        assert_eq!(hl.gate(3_000), GpuGate::Probe);
+        assert!(hl.on_batch_ok(3_000), "zero-length probe still re-admits");
+        assert_eq!(hl.health(), DeviceHealth::Healthy);
+        assert_eq!(hl.gate(3_000), GpuGate::Open);
+        assert_eq!((hl.quarantines(), hl.readmissions()), (2, 1));
+        // Window was reset: the next quarantine uses the base window.
+        hl.force_quarantine(10_000);
+        assert_eq!(hl.health(), DeviceHealth::Quarantined { until_ns: 11_000 });
+    }
+
+    mod interleavings {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Clone, Copy, Debug)]
+        enum Op {
+            Gate,
+            Ok,
+            Failed,
+            Force,
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                Just(Op::Gate),
+                Just(Op::Ok),
+                Just(Op::Failed),
+                Just(Op::Force),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Counters are monotone under any interleaving at any
+            /// (nondecreasing) clock, re-admissions never outrun
+            /// quarantines, and a Probe gate only appears while at
+            /// least one quarantine has happened.
+            #[test]
+            fn counters_monotone_under_interleaving(
+                ops in proptest::collection::vec((op_strategy(), 0u64..50_000), 1..80),
+            ) {
+                let pol = RecoveryPolicy {
+                    quarantine_ns: 1_000,
+                    quarantine_cap_ns: 8_000,
+                    ..RecoveryPolicy::default()
+                };
+                let mut hl = HealthTracker::new(pol);
+                let mut now = 0u64;
+                let (mut last_q, mut last_r) = (0u64, 0u64);
+                for (op, dt) in ops {
+                    now += dt;
+                    match op {
+                        Op::Gate => {
+                            if hl.gate(now) == GpuGate::Probe {
+                                prop_assert!(hl.quarantines() > 0);
+                            }
+                        }
+                        Op::Ok => {
+                            let readmitted = hl.on_batch_ok(now);
+                            prop_assert_eq!(hl.health(), DeviceHealth::Healthy);
+                            if readmitted {
+                                prop_assert_eq!(hl.readmissions(), last_r + 1);
+                            }
+                        }
+                        Op::Failed => {
+                            hl.on_batch_failed(now);
+                        }
+                        Op::Force => {
+                            hl.force_quarantine(now);
+                            let quarantined =
+                                matches!(hl.health(), DeviceHealth::Quarantined { .. });
+                            prop_assert!(quarantined);
+                        }
+                    }
+                    prop_assert!(hl.quarantines() >= last_q, "quarantines decreased");
+                    prop_assert!(hl.readmissions() >= last_r, "readmissions decreased");
+                    prop_assert!(
+                        hl.readmissions() <= hl.quarantines(),
+                        "readmitted more often than quarantined"
+                    );
+                    last_q = hl.quarantines();
+                    last_r = hl.readmissions();
+                }
+            }
+        }
     }
 }

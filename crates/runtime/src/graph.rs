@@ -88,6 +88,115 @@ struct Node {
     deps: Vec<usize>,
 }
 
+/// A cheap checkpoint of a partially-executed graph: how much has
+/// completed, and the minimal cut needed to resume.
+///
+/// Because futures are write-once and producers are fixed at
+/// construction time, a lost execution is recoverable from exactly this
+/// plus the graph structure: re-run [`Frontier::pending`] in spawn
+/// order and every future refills with identical values. The serving
+/// cluster's node-loss recovery (checkpoint + delta ledger) is the
+/// DES-side mirror of this snapshot.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FrontierSnapshot {
+    /// Tasks completed so far.
+    pub completed: usize,
+    /// Completed tasks that still have an incomplete successor — the
+    /// results a resumed execution actually reads. Everything behind
+    /// the frontier is dead weight and need not be retained.
+    pub frontier: Vec<TaskId>,
+}
+
+/// Completion tracker over a [`TaskGraph`]'s dependency structure: the
+/// lineage ledger for crash recovery.
+///
+/// Built from a graph *before* it is consumed by
+/// [`TaskGraph::run`]; completions are fed in as they are observed
+/// (any dependency-respecting order), and [`Frontier::snapshot`] /
+/// [`Frontier::pending`] answer "what survives a crash" and "what must
+/// re-execute".
+#[derive(Clone, Debug)]
+pub struct Frontier {
+    deps: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+    done: Vec<bool>,
+    completed: usize,
+}
+
+impl Frontier {
+    /// Tasks tracked.
+    pub fn len(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Whether the tracked graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.done.is_empty()
+    }
+
+    /// Tasks completed so far.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Whether every task has completed.
+    pub fn is_complete(&self) -> bool {
+        self.completed == self.done.len()
+    }
+
+    /// Records the completion of `id`. Idempotent.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range, or (debug builds) if a
+    /// dependency of `id` has not completed — a completion order that
+    /// violates the dependency structure is a driver bug, and a
+    /// checkpoint taken from it would be unrecoverable.
+    pub fn mark_complete(&mut self, id: TaskId) {
+        assert!(id.0 < self.done.len(), "unknown task {id:?}");
+        if self.done[id.0] {
+            return;
+        }
+        debug_assert!(
+            self.deps[id.0].iter().all(|&d| self.done[d]),
+            "task {id:?} completed before its dependencies"
+        );
+        self.done[id.0] = true;
+        self.completed += 1;
+    }
+
+    /// The checkpoint: completed count plus the completed tasks whose
+    /// results a resumed execution still needs (those with at least one
+    /// incomplete successor).
+    pub fn snapshot(&self) -> FrontierSnapshot {
+        let frontier = (0..self.done.len())
+            .filter(|&i| self.done[i] && self.succs[i].iter().any(|&s| !self.done[s]))
+            .map(TaskId)
+            .collect();
+        FrontierSnapshot {
+            completed: self.completed,
+            frontier,
+        }
+    }
+
+    /// The re-execution set: incomplete tasks in spawn order, which is
+    /// a valid topological order by construction.
+    pub fn pending(&self) -> Vec<TaskId> {
+        (0..self.done.len())
+            .filter(|&i| !self.done[i])
+            .map(TaskId)
+            .collect()
+    }
+
+    /// Incomplete tasks whose dependencies have all completed — the
+    /// immediately resumable wave.
+    pub fn ready(&self) -> Vec<TaskId> {
+        (0..self.done.len())
+            .filter(|&i| !self.done[i] && self.deps[i].iter().all(|&d| self.done[d]))
+            .map(TaskId)
+            .collect()
+    }
+}
+
 /// Statistics from one graph execution.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct GraphRunStats {
@@ -127,6 +236,25 @@ impl TaskGraph {
     /// Whether no tasks have been spawned.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// A [`Frontier`] over this graph's current dependency structure,
+    /// with nothing completed yet. Take it before [`TaskGraph::run`]
+    /// consumes the graph.
+    pub fn frontier(&self) -> Frontier {
+        let n = self.nodes.len();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &d in &node.deps {
+                succs[d].push(i);
+            }
+        }
+        Frontier {
+            deps: self.nodes.iter().map(|n| n.deps.clone()).collect(),
+            succs,
+            done: vec![false; n],
+            completed: 0,
+        }
     }
 
     /// Spawns a task that runs `f` once every task in `deps` has
@@ -375,5 +503,98 @@ mod tests {
         let stats = TaskGraph::new().run(&pool);
         assert_eq!(stats.tasks, 0);
         assert_eq!(TaskGraph::new().run_inline().tasks, 0);
+    }
+
+    /// a → b → d, a → c → d: the diamond used throughout.
+    fn diamond() -> (TaskGraph, [TaskId; 4]) {
+        let mut g = TaskGraph::new();
+        let a = g.spawn(&[], || 1u64);
+        let b = g.spawn(&[a.id()], || 2u64);
+        let c = g.spawn(&[a.id()], || 3u64);
+        let d = g.spawn(&[b.id(), c.id()], || 4u64);
+        let ids = [a.id(), b.id(), c.id(), d.id()];
+        (g, ids)
+    }
+
+    #[test]
+    fn frontier_tracks_the_minimal_resume_cut() {
+        let (g, [a, b, c, d]) = diamond();
+        let mut f = g.frontier();
+        assert_eq!(f.len(), 4);
+        assert!(!f.is_complete());
+        assert_eq!(f.ready(), vec![a]);
+        assert_eq!(f.snapshot(), FrontierSnapshot::default());
+
+        f.mark_complete(a);
+        // a is the frontier: both b and c still need its result.
+        assert_eq!(f.snapshot().frontier, vec![a]);
+        assert_eq!(f.ready(), vec![b, c]);
+        assert_eq!(f.pending(), vec![b, c, d]);
+
+        f.mark_complete(b);
+        f.mark_complete(c);
+        // a has fallen behind the frontier: every successor completed.
+        let snap = f.snapshot();
+        assert_eq!(snap.completed, 3);
+        assert_eq!(snap.frontier, vec![b, c]);
+        assert_eq!(f.ready(), vec![d]);
+
+        f.mark_complete(d);
+        assert!(f.is_complete());
+        assert_eq!(f.snapshot().frontier, vec![], "nothing left to resume");
+        assert_eq!(f.pending(), vec![]);
+        // Idempotent completion.
+        f.mark_complete(d);
+        assert_eq!(f.completed(), 4);
+    }
+
+    #[test]
+    fn frontier_pending_replays_to_identical_values() {
+        // Crash after a topological prefix, resume by running exactly
+        // `pending()` in order: the chain's final value must match an
+        // uninterrupted run (lineage re-execution correctness).
+        fn build(g: &mut TaskGraph) -> Vec<Future<u64>> {
+            let mut futs: Vec<Future<u64>> = Vec::new();
+            let root = g.spawn(&[], || 5u64);
+            futs.push(root);
+            for i in 1..12u64 {
+                let p = futs[(i as usize) / 2].clone();
+                futs.push(g.spawn(&[p.id()], move || p.get().wrapping_mul(31).wrapping_add(i)));
+            }
+            futs
+        }
+        let mut g_full = TaskGraph::new();
+        let full = build(&mut g_full);
+        g_full.run_inline();
+
+        let mut g = TaskGraph::new();
+        let futs = build(&mut g);
+        let mut frontier = g.frontier();
+        // "Crash" after the first 5 tasks: jobs are lost, values live
+        // in the write-once futures behind the frontier.
+        let mut jobs: Vec<Option<Box<dyn FnOnce() + Send>>> =
+            g.nodes.into_iter().map(|n| Some(n.job)).collect();
+        for (id, job) in jobs.iter_mut().enumerate().take(5) {
+            (job.take().unwrap())();
+            frontier.mark_complete(TaskId(id));
+        }
+        assert_eq!(frontier.snapshot().completed, 5);
+        for id in frontier.pending() {
+            (jobs[id.index()].take().unwrap())();
+            frontier.mark_complete(id);
+        }
+        assert!(frontier.is_complete());
+        for (a, b) in full.iter().zip(&futs) {
+            assert_eq!(a.get(), b.get(), "resumed lineage diverged");
+        }
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "debug_assert-gated ordering check")]
+    #[should_panic(expected = "before its dependencies")]
+    fn frontier_rejects_dependency_violating_completions() {
+        let (g, [_, b, ..]) = diamond();
+        let mut f = g.frontier();
+        f.mark_complete(b); // b before a: an invalid checkpoint
     }
 }

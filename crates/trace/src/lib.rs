@@ -73,6 +73,10 @@ pub enum Stage {
     /// Task-batch migration in flight on the interconnect (work stealing
     /// or a repartition epoch moving whole batches between nodes).
     Migrate,
+    /// Lineage re-execution after a node loss: the interval in which a
+    /// surviving node rebuilds and re-runs work reconstructed from the
+    /// last epoch-boundary checkpoint of a crashed peer.
+    Recover,
     /// A serving request's whole life in the system: admission to
     /// completion (queue wait + service). Sojourn spans cover every
     /// other stage of the request by construction, so they carry the
@@ -83,7 +87,7 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in declaration order.
-    pub const ALL: [Stage; 14] = [
+    pub const ALL: [Stage; 15] = [
         Stage::Preprocess,
         Stage::Batch,
         Stage::Dispatch,
@@ -97,6 +101,7 @@ impl Stage {
         Stage::NetSend,
         Stage::NetRecv,
         Stage::Migrate,
+        Stage::Recover,
         Stage::Sojourn,
     ];
 
@@ -116,6 +121,7 @@ impl Stage {
             Stage::NetSend => "NetSend",
             Stage::NetRecv => "NetRecv",
             Stage::Migrate => "Migrate",
+            Stage::Recover => "Recover",
             Stage::Sojourn => "Sojourn",
         }
     }
@@ -144,6 +150,7 @@ impl Stage {
             Stage::Postprocess => 7,
             Stage::Batch => 6,
             Stage::Migrate => 13,
+            Stage::Recover => 14,
             Stage::NetSend => 5,
             Stage::NetRecv => 4,
             Stage::CacheMiss => 3,
@@ -285,14 +292,19 @@ pub enum ServeOutcome {
     /// The request was admitted but dropped from a queue later to make
     /// room (load shedding).
     Shed,
+    /// A duplicate hedge attempt whose sibling finished first; the copy
+    /// was cancelled and its work discarded. The request itself still
+    /// counts exactly once as [`ServeOutcome::Completed`].
+    CancelledHedge,
 }
 
 impl ServeOutcome {
     /// Every outcome, in declaration order.
-    pub const ALL: [ServeOutcome; 3] = [
+    pub const ALL: [ServeOutcome; 4] = [
         ServeOutcome::Completed,
         ServeOutcome::Rejected,
         ServeOutcome::Shed,
+        ServeOutcome::CancelledHedge,
     ];
 
     /// Stable name used in the JSON journal and reports.
@@ -301,6 +313,7 @@ impl ServeOutcome {
             ServeOutcome::Completed => "Completed",
             ServeOutcome::Rejected => "Rejected",
             ServeOutcome::Shed => "Shed",
+            ServeOutcome::CancelledHedge => "CancelledHedge",
         }
     }
 
@@ -409,17 +422,30 @@ pub enum FaultKind {
     SlowNode,
     /// A network message was dropped and had to be retransmitted.
     DroppedMessage,
+    /// A whole node crashed: its queues, in-flight batches and chain
+    /// state are lost and must be rebuilt from the last checkpoint.
+    NodeCrash,
+    /// A node was partitioned from the interconnect for a while; its
+    /// local state survives but nothing reaches it until the partition
+    /// heals (and the cluster may have declared it dead meanwhile).
+    NodePartition,
+    /// A previously crashed or partitioned node rejoined the cluster
+    /// (cold caches, re-admitted through the probe ladder).
+    NodeRejoin,
 }
 
 impl FaultKind {
     /// Every kind, in declaration order.
-    pub const ALL: [FaultKind; 6] = [
+    pub const ALL: [FaultKind; 9] = [
         FaultKind::KernelLaunchFail,
         FaultKind::TransferTimeout,
         FaultKind::StreamStall,
         FaultKind::DeviceLost,
         FaultKind::SlowNode,
         FaultKind::DroppedMessage,
+        FaultKind::NodeCrash,
+        FaultKind::NodePartition,
+        FaultKind::NodeRejoin,
     ];
 
     /// Stable name used in the JSON journal and reports.
@@ -431,6 +457,9 @@ impl FaultKind {
             FaultKind::DeviceLost => "DeviceLost",
             FaultKind::SlowNode => "SlowNode",
             FaultKind::DroppedMessage => "DroppedMessage",
+            FaultKind::NodeCrash => "NodeCrash",
+            FaultKind::NodePartition => "NodePartition",
+            FaultKind::NodeRejoin => "NodeRejoin",
         }
     }
 
@@ -458,11 +487,17 @@ pub enum FaultAction {
     Readmitted,
     /// A dropped message was retransmitted.
     Resent,
+    /// Lost lineage was reconstructed from the last checkpoint and
+    /// re-executed on surviving nodes.
+    Recovered,
+    /// A duplicate hedge attempt was launched on another node after the
+    /// per-kind latency budget expired.
+    Hedged,
 }
 
 impl FaultAction {
     /// Every action, in declaration order.
-    pub const ALL: [FaultAction; 7] = [
+    pub const ALL: [FaultAction; 9] = [
         FaultAction::Injected,
         FaultAction::Detected,
         FaultAction::Retried,
@@ -470,6 +505,8 @@ impl FaultAction {
         FaultAction::Quarantined,
         FaultAction::Readmitted,
         FaultAction::Resent,
+        FaultAction::Recovered,
+        FaultAction::Hedged,
     ];
 
     /// Stable name used in the JSON journal and reports.
@@ -482,6 +519,8 @@ impl FaultAction {
             FaultAction::Quarantined => "Quarantined",
             FaultAction::Readmitted => "Readmitted",
             FaultAction::Resent => "Resent",
+            FaultAction::Recovered => "Recovered",
+            FaultAction::Hedged => "Hedged",
         }
     }
 
