@@ -52,7 +52,10 @@ pub mod workload;
 
 pub use balance::{BalanceMode, BalanceReport};
 pub use cluster::{ClusterReport, ClusterSim};
-pub use dag::{run_dag, DagFaultSpec, DagMode, DagRunReport, DagTask, DagWorkload};
+pub use dag::{
+    run_dag, run_dag_survivable, DagFaultSpec, DagMode, DagRunReport, DagSurvivalSpec, DagTask,
+    DagWorkload, SurvivableDagReport,
+};
 pub use des::{Des, FifoResource};
 pub use network::{Interconnect, NetworkModel};
 pub use node::{FaultSummary, NodeParams, NodeRate, NodeReport, NodeSim, ResourceMode};

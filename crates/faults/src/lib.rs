@@ -47,11 +47,13 @@
 mod breaker;
 mod plan;
 mod recovery;
+mod timeline;
 
 pub use breaker::{BreakerMap, BreakerPolicy, BreakerState, CircuitBreaker};
 pub use madness_trace::{FaultAction, FaultEvent, FaultKind};
 pub use plan::{FaultInjector, FaultPlan, Injection, NodeFault, TaskError, Trigger};
 pub use recovery::{DeviceHealth, GpuGate, HealthTracker, RecoveryPolicy};
+pub use timeline::NodeTimeline;
 
 /// Stateless deterministic draw in `[0, 1)` for `(seed, salt, index)`.
 ///

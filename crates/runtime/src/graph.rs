@@ -39,6 +39,14 @@ impl TaskId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Builds an id from a raw spawn-order index — for schedulers that
+    /// mirror a graph's dependency structure in their own task
+    /// representation (the cluster DAG executor) and need to feed
+    /// completions and fold-backs into a [`Frontier`].
+    pub fn from_index(index: usize) -> TaskId {
+        TaskId(index)
+    }
 }
 
 /// A write-once result slot filled by exactly one task of a
@@ -107,6 +115,48 @@ pub struct FrontierSnapshot {
     pub frontier: Vec<TaskId>,
 }
 
+impl FrontierSnapshot {
+    /// Serializes the checkpoint as one line of JSON
+    /// (`madness-frontier-v1`): what a node writes at an epoch boundary
+    /// so a survivor can fold a crashed peer back to the cut.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"v\":\"madness-frontier-v1\",\"completed\":");
+        let _ = write!(out, "{}", self.completed);
+        out.push_str(",\"frontier\":[");
+        for (i, id) in self.frontier.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}", id.index());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a [`FrontierSnapshot::to_json`] line. Returns `None` on
+    /// any malformed input (wrong version tag included) — a corrupt
+    /// checkpoint must read as "no checkpoint", never as an empty one.
+    pub fn from_json(s: &str) -> Option<FrontierSnapshot> {
+        let s = s.trim();
+        let body = s.strip_prefix("{\"v\":\"madness-frontier-v1\",\"completed\":")?;
+        let body = body.strip_suffix("]}")?;
+        let (completed, ids) = body.split_once(",\"frontier\":[")?;
+        let completed = completed.parse().ok()?;
+        let frontier = if ids.is_empty() {
+            Vec::new()
+        } else {
+            ids.split(',')
+                .map(|t| t.trim().parse().ok().map(TaskId))
+                .collect::<Option<Vec<_>>>()?
+        };
+        Some(FrontierSnapshot {
+            completed,
+            frontier,
+        })
+    }
+}
+
 /// Completion tracker over a [`TaskGraph`]'s dependency structure: the
 /// lineage ledger for crash recovery.
 ///
@@ -124,6 +174,35 @@ pub struct Frontier {
 }
 
 impl Frontier {
+    /// A frontier over a raw dependency structure: `deps[i]` lists the
+    /// predecessors of task `i`, each naming an earlier index. This is
+    /// how schedulers that lower a graph to their own task
+    /// representation (the cluster DAG executor's [`DagWorkload`])
+    /// share the checkpoint/fold/replay machinery without owning a
+    /// [`TaskGraph`].
+    ///
+    /// [`DagWorkload`]: ../../madness_cluster/dag/struct.DagWorkload.html
+    ///
+    /// # Panics
+    /// Panics if any dependency does not name an earlier task (the
+    /// structure would admit a cycle).
+    pub fn from_deps(deps: Vec<Vec<usize>>) -> Frontier {
+        let n = deps.len();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, ds) in deps.iter().enumerate() {
+            for &d in ds {
+                assert!(d < i, "dependency {d} does not name an earlier task");
+                succs[d].push(i);
+            }
+        }
+        Frontier {
+            deps,
+            succs,
+            done: vec![false; n],
+            completed: 0,
+        }
+    }
+
     /// Tasks tracked.
     pub fn len(&self) -> usize {
         self.done.len()
@@ -162,6 +241,27 @@ impl Frontier {
         );
         self.done[id.0] = true;
         self.completed += 1;
+    }
+
+    /// Folds lost completions back out of the ledger: each id in
+    /// `lost` is marked incomplete again (idempotent — already-pending
+    /// ids are ignored), so [`Frontier::pending`] grows to include the
+    /// re-execution set. This is the crash fold: a node died holding
+    /// values that never reached a checkpoint, and the work that
+    /// produced them must run again. Completed *consumers* of a lost
+    /// value stay completed — they hold their own results; only the
+    /// lost producers re-execute.
+    ///
+    /// # Panics
+    /// Panics if an id is out of range.
+    pub fn fold_back(&mut self, lost: &[TaskId]) {
+        for id in lost {
+            assert!(id.0 < self.done.len(), "unknown task {id:?}");
+            if self.done[id.0] {
+                self.done[id.0] = false;
+                self.completed -= 1;
+            }
+        }
     }
 
     /// The checkpoint: completed count plus the completed tasks whose
@@ -596,5 +696,77 @@ mod tests {
         let (g, [_, b, ..]) = diamond();
         let mut f = g.frontier();
         f.mark_complete(b); // b before a: an invalid checkpoint
+    }
+
+    #[test]
+    fn frontier_from_deps_matches_taskgraph_frontier() {
+        let (g, [a, b, c, d]) = diamond();
+        let mut from_graph = g.frontier();
+        let mut from_deps = Frontier::from_deps(vec![vec![], vec![0], vec![0], vec![1, 2]]);
+        for id in [a, b, c] {
+            from_graph.mark_complete(id);
+            from_deps.mark_complete(id);
+        }
+        assert_eq!(from_graph.snapshot(), from_deps.snapshot());
+        assert_eq!(from_graph.pending(), from_deps.pending());
+        assert_eq!(from_deps.ready(), vec![d]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not name an earlier task")]
+    fn frontier_from_deps_rejects_forward_edges() {
+        let _ = Frontier::from_deps(vec![vec![], vec![2], vec![]]);
+    }
+
+    #[test]
+    fn fold_back_reopens_lost_work_idempotently() {
+        let (g, [a, b, c, d]) = diamond();
+        let mut f = g.frontier();
+        for id in [a, b, c] {
+            f.mark_complete(id);
+        }
+        // The crash loses b and c's values; a survives (checkpointed).
+        f.fold_back(&[b, c, d]); // d was never complete: ignored
+        assert_eq!(f.completed(), 1);
+        assert_eq!(f.pending(), vec![b, c, d]);
+        assert_eq!(f.snapshot().frontier, vec![a]);
+        // Replaying pending in spawn order completes the graph again.
+        for id in f.pending() {
+            f.mark_complete(id);
+        }
+        assert!(f.is_complete());
+        // Idempotent: folding back nothing-lost is a no-op.
+        let snap = f.snapshot();
+        f.fold_back(&[]);
+        assert_eq!(f.snapshot(), snap);
+    }
+
+    #[test]
+    fn snapshot_serialization_round_trips() {
+        let (g, [a, b, c, _]) = diamond();
+        let mut f = g.frontier();
+        for id in [a, b, c] {
+            f.mark_complete(id);
+        }
+        let snap = f.snapshot();
+        let json = snap.to_json();
+        assert_eq!(
+            json,
+            "{\"v\":\"madness-frontier-v1\",\"completed\":3,\"frontier\":[1,2]}"
+        );
+        assert_eq!(FrontierSnapshot::from_json(&json), Some(snap));
+        // The empty checkpoint round-trips too.
+        let empty = FrontierSnapshot::default();
+        assert_eq!(FrontierSnapshot::from_json(&empty.to_json()), Some(empty));
+        // Corrupt input reads as "no checkpoint", not as an empty one.
+        for bad in [
+            "",
+            "{}",
+            "{\"v\":\"madness-frontier-v2\",\"completed\":3,\"frontier\":[1]}",
+            "{\"v\":\"madness-frontier-v1\",\"completed\":x,\"frontier\":[]}",
+            "{\"v\":\"madness-frontier-v1\",\"completed\":3,\"frontier\":[1,]}",
+        ] {
+            assert_eq!(FrontierSnapshot::from_json(bad), None, "input: {bad:?}");
+        }
     }
 }
